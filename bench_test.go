@@ -1,0 +1,230 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at quick
+// scale (use cmd/danausbench -scale paper for full-size runs) and
+// reports the figure's primary metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the same series the paper plots.
+package danaus_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func benchScale() experiments.Scale { return experiments.QuickScale }
+
+// BenchmarkFig1Motivation regenerates Fig 1: Fileserver over the kernel
+// client collapsing under a RandomIO neighbour (throughput bars, lock
+// wait/hold lines).
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		alone := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigK, FLSCount: 1}, benchScale())
+		contended := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigK, FLSCount: 1, Neighbor: "RND"}, benchScale())
+		b.ReportMetric(alone.FLSThroughputMBps, "alone-MB/s")
+		b.ReportMetric(contended.FLSThroughputMBps, "rnd-MB/s")
+		b.ReportMetric(alone.FLSThroughputMBps/contended.FLSThroughputMBps, "drop-x")
+		b.ReportMetric(float64(contended.LockWaitPerReq)/float64(alone.LockWaitPerReq+1), "lockwait-growth-x")
+	}
+}
+
+// BenchmarkFig6aRandomIO regenerates Fig 6a: the same interference over
+// Danaus versus the kernel client.
+func BenchmarkFig6aRandomIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigK, FLSCount: 1, Neighbor: "RND"}, benchScale())
+		d := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigD, FLSCount: 1, Neighbor: "RND"}, benchScale())
+		b.ReportMetric(k.FLSThroughputMBps, "K+RND-MB/s")
+		b.ReportMetric(d.FLSThroughputMBps, "D+RND-MB/s")
+		b.ReportMetric(d.NeighborCoreUtilPct, "D-nbr-util-pct")
+	}
+}
+
+// BenchmarkFig6bWebserver regenerates Fig 6b: Fileserver next to a
+// local Webserver.
+func BenchmarkFig6bWebserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigK, FLSCount: 1, Neighbor: "WBS"}, benchScale())
+		d := experiments.RunInterference(experiments.InterferenceCase{Config: core.ConfigD, FLSCount: 1, Neighbor: "WBS"}, benchScale())
+		b.ReportMetric(k.FLSThroughputMBps, "K+WBS-MB/s")
+		b.ReportMetric(d.FLSThroughputMBps, "D+WBS-MB/s")
+	}
+}
+
+// BenchmarkFig6cSysbench regenerates Fig 6c: Sysbench p99 and
+// Fileserver latency under colocation.
+func BenchmarkFig6cSysbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := experiments.RunSysbench(experiments.SysbenchCase{Config: core.ConfigK, WithSSB: true}, benchScale())
+		d := experiments.RunSysbench(experiments.SysbenchCase{Config: core.ConfigD, WithSSB: true}, benchScale())
+		b.ReportMetric(float64(k.SSBLatencyP99.Microseconds()), "K-ssb-p99-us")
+		b.ReportMetric(float64(d.SSBLatencyP99.Microseconds()), "D-ssb-p99-us")
+	}
+}
+
+// BenchmarkFig7aKVPutScaleout regenerates Fig 7a: KV put latency with a
+// private client per pool.
+func BenchmarkFig7aKVPutScaleout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunKVScaleout(core.ConfigD, 8, experiments.PhasePut, benchScale())
+		f := experiments.RunKVScaleout(core.ConfigF, 8, experiments.PhasePut, benchScale())
+		k := experiments.RunKVScaleout(core.ConfigK, 8, experiments.PhasePut, benchScale())
+		b.ReportMetric(float64(d.PutLatency.Microseconds()), "D-put-us")
+		b.ReportMetric(float64(f.PutLatency.Microseconds()), "F-put-us")
+		b.ReportMetric(float64(k.PutLatency.Microseconds()), "K-put-us")
+	}
+}
+
+// BenchmarkFig7bKVGetScaleout regenerates Fig 7b: out-of-core KV get
+// latency.
+func BenchmarkFig7bKVGetScaleout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunKVScaleout(core.ConfigD, 4, experiments.PhaseGet, benchScale())
+		k := experiments.RunKVScaleout(core.ConfigK, 4, experiments.PhaseGet, benchScale())
+		b.ReportMetric(float64(d.GetLatency.Microseconds()), "D-get-us")
+		b.ReportMetric(float64(k.GetLatency.Microseconds()), "K-get-us")
+	}
+}
+
+// BenchmarkFig7cKVPutScaleup regenerates Fig 7c: KV put latency for
+// cloned containers over a shared client.
+func BenchmarkFig7cKVPutScaleup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunKVScaleup(core.ConfigD, 8, experiments.PhasePut, benchScale())
+		ff := experiments.RunKVScaleup(core.ConfigFF, 8, experiments.PhasePut, benchScale())
+		kk := experiments.RunKVScaleup(core.ConfigKK, 8, experiments.PhasePut, benchScale())
+		b.ReportMetric(float64(d.PutLatency.Microseconds()), "D-put-us")
+		b.ReportMetric(float64(ff.PutLatency.Microseconds()), "FF-put-us")
+		b.ReportMetric(float64(kk.PutLatency.Microseconds()), "KK-put-us")
+	}
+}
+
+// BenchmarkFig7dKVGetScaleup regenerates Fig 7d: KV get latency for
+// cloned containers.
+func BenchmarkFig7dKVGetScaleup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunKVScaleup(core.ConfigD, 4, experiments.PhaseGet, benchScale())
+		ff := experiments.RunKVScaleup(core.ConfigFF, 4, experiments.PhaseGet, benchScale())
+		b.ReportMetric(float64(d.GetLatency.Microseconds()), "D-get-us")
+		b.ReportMetric(float64(ff.GetLatency.Microseconds()), "FF-get-us")
+	}
+}
+
+// BenchmarkFig8ContainerStartup regenerates Fig 8: real time and
+// context switches to start cloned webserver containers.
+func BenchmarkFig8ContainerStartup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunStartupScaleup(core.ConfigD, 16, benchScale())
+		kk := experiments.RunStartupScaleup(core.ConfigKK, 16, benchScale())
+		ff := experiments.RunStartupScaleup(core.ConfigFF, 16, benchScale())
+		b.ReportMetric(d.RealTime.Seconds()*1000, "D-start-ms")
+		b.ReportMetric(kk.RealTime.Seconds()*1000, "KK-start-ms")
+		b.ReportMetric(ff.RealTime.Seconds()*1000, "FF-start-ms")
+		b.ReportMetric(float64(ff.ContextSwitches)/float64(d.ContextSwitches+1), "FF/D-ctxsw-x")
+	}
+}
+
+// BenchmarkFig9Seqwrite regenerates Fig 9 (top): Seqwrite scaleout.
+func BenchmarkFig9Seqwrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunSeqIOScaleout(core.ConfigD, 4, true, benchScale())
+		f := experiments.RunSeqIOScaleout(core.ConfigF, 4, true, benchScale())
+		k := experiments.RunSeqIOScaleout(core.ConfigK, 4, true, benchScale())
+		b.ReportMetric(d.ThroughputMBps, "D-MB/s")
+		b.ReportMetric(f.ThroughputMBps, "F-MB/s")
+		b.ReportMetric(k.ThroughputMBps, "K-MB/s")
+	}
+}
+
+// BenchmarkFig9Seqread regenerates Fig 9 (bottom): cached Seqread.
+func BenchmarkFig9Seqread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunSeqIOScaleout(core.ConfigD, 1, false, benchScale())
+		f := experiments.RunSeqIOScaleout(core.ConfigF, 1, false, benchScale())
+		k := experiments.RunSeqIOScaleout(core.ConfigK, 1, false, benchScale())
+		b.ReportMetric(d.ThroughputMBps, "D-MB/s")
+		b.ReportMetric(f.ThroughputMBps, "F-MB/s")
+		b.ReportMetric(k.ThroughputMBps, "K-MB/s")
+	}
+}
+
+// BenchmarkFig10FileserverScaleout regenerates Fig 10: Fileserver
+// throughput across pool counts.
+func BenchmarkFig10FileserverScaleout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunFileserverScaleout(core.ConfigD, 8, benchScale())
+		f := experiments.RunFileserverScaleout(core.ConfigF, 8, benchScale())
+		k := experiments.RunFileserverScaleout(core.ConfigK, 8, benchScale())
+		b.ReportMetric(d.ThroughputMBps, "D-MB/s")
+		b.ReportMetric(f.ThroughputMBps, "F-MB/s")
+		b.ReportMetric(k.ThroughputMBps, "K-MB/s")
+	}
+}
+
+// BenchmarkFig11aFileappend regenerates Fig 11a: COW-heavy append
+// scaleup (timespan + max memory).
+func BenchmarkFig11aFileappend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunFileIOScaleup(core.ConfigD, 8, true, benchScale())
+		kk := experiments.RunFileIOScaleup(core.ConfigKK, 8, true, benchScale())
+		b.ReportMetric(d.Timespan.Seconds()*1000, "D-ms")
+		b.ReportMetric(kk.Timespan.Seconds()*1000, "KK-ms")
+		b.ReportMetric(float64(d.MaxMemory>>20), "D-maxmem-MB")
+	}
+}
+
+// BenchmarkFig11bFileread regenerates Fig 11b: shared-file read scaleup
+// (timespan + the FP/FP double-caching memory blowup).
+func BenchmarkFig11bFileread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.RunFileIOScaleup(core.ConfigD, 8, false, benchScale())
+		kk := experiments.RunFileIOScaleup(core.ConfigKK, 8, false, benchScale())
+		fpfp := experiments.RunFileIOScaleup(core.ConfigFPFP, 8, false, benchScale())
+		b.ReportMetric(d.Timespan.Seconds()*1000, "D-ms")
+		b.ReportMetric(kk.Timespan.Seconds()*1000, "KK-ms")
+		b.ReportMetric(float64(fpfp.MaxMemory)/float64(d.MaxMemory+1), "FPFP/D-mem-x")
+	}
+}
+
+// BenchmarkTable1Configurations exercises every Table 1 composition
+// with a small mixed workload, reporting nothing but validating that
+// all eight stacks assemble and serve I/O.
+func BenchmarkTable1Configurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range core.AllConfigurations() {
+			row := experiments.RunStartupScaleup(cfg, 1, benchScale())
+			if row.RealTime <= 0 {
+				b.Fatalf("configuration %v produced no startup time", cfg)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClientLock reproduces the paper's §6.3.2 preliminary
+// experiment: cached-read throughput with and without the coarse
+// client_lock.
+func BenchmarkAblationClientLock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.RunAblationClientLock(benchScale())
+		b.ReportMetric(row.Baseline, "locked-MB/s")
+		b.ReportMetric(row.Ablated, "fine-grained-MB/s")
+	}
+}
+
+// BenchmarkAblationWakeupElision quantifies the IPC polling window.
+func BenchmarkAblationWakeupElision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.RunAblationWakeupElision(benchScale())
+		b.ReportMetric(row.Ablated/row.Baseline, "switch-blowup-x")
+	}
+}
+
+// BenchmarkAblationUnionIntegration quantifies libservice integration
+// versus a FUSE crossing between union and client.
+func BenchmarkAblationUnionIntegration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.RunAblationUnionIntegration(benchScale())
+		b.ReportMetric(row.Baseline, "integrated-ms")
+		b.ReportMetric(row.Ablated, "fuse-crossed-ms")
+	}
+}

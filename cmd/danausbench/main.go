@@ -1,0 +1,235 @@
+// Command danausbench regenerates the paper's evaluation figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	danausbench -list
+//	danausbench -exp fig6a [-scale quick|default|paper]
+//	danausbench -exp all -scale default
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+var experimentsByName = map[string]func(experiments.Scale){
+	"fig1":      runFig1,
+	"fig6a":     runFig6a,
+	"fig6b":     runFig6b,
+	"fig6c":     runFig6c,
+	"fig7a":     func(s experiments.Scale) { runKVScaleout(experiments.PhasePut, s) },
+	"fig7b":     func(s experiments.Scale) { runKVScaleout(experiments.PhaseGet, s) },
+	"fig7c":     func(s experiments.Scale) { runKVScaleup(experiments.PhasePut, s) },
+	"fig7d":     func(s experiments.Scale) { runKVScaleup(experiments.PhaseGet, s) },
+	"fig8":      runFig8,
+	"fig9w":     func(s experiments.Scale) { runSeqIO(true, s) },
+	"fig9r":     func(s experiments.Scale) { runSeqIO(false, s) },
+	"fig10":     runFig10,
+	"fig11a":    func(s experiments.Scale) { runFileIO(true, s) },
+	"fig11b":    func(s experiments.Scale) { runFileIO(false, s) },
+	"table1":    runTable1,
+	"table2":    runTable2,
+	"ablations": runAblations,
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick, default or paper")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		names := make([]string, 0, len(experimentsByName))
+		for name := range experimentsByName {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println("  " + name)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *exp == "all" {
+		names := make([]string, 0, len(experimentsByName))
+		for name := range experimentsByName {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			runOne(name, scale)
+		}
+		return
+	}
+	fn, ok := experimentsByName[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	_ = fn
+	runOne(*exp, scale)
+}
+
+func runOne(name string, scale experiments.Scale) {
+	fmt.Printf("=== %s (factor %.2f, window %v) ===\n", name, scale.Factor, scale.Duration)
+	start := time.Now()
+	experimentsByName[name](scale)
+	fmt.Printf("--- %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func runFig1(scale experiments.Scale) {
+	fmt.Println("Fig 1: Fileserver under kernel I/O contention (kernel client only)")
+	for _, c := range experiments.Fig1Cases() {
+		row := experiments.RunInterference(c, scale)
+		printInterference(row)
+	}
+}
+
+func runFig6a(scale experiments.Scale) {
+	fmt.Println("Fig 6a: Fileserver vs RandomIO interference (K vs D)")
+	for _, c := range experiments.Fig6aCases() {
+		printInterference(experiments.RunInterference(c, scale))
+	}
+}
+
+func runFig6b(scale experiments.Scale) {
+	fmt.Println("Fig 6b: Fileserver vs Webserver interference (K vs D)")
+	for _, c := range experiments.Fig6bCases() {
+		printInterference(experiments.RunInterference(c, scale))
+	}
+}
+
+func printInterference(row experiments.InterferenceRow) {
+	fmt.Printf("  %-14s %9.1f MB/s   neighbor-cores %6.1f%%   lock wait/req %-12v hold/req %v\n",
+		row.Label, row.FLSThroughputMBps, row.NeighborCoreUtilPct, row.LockWaitPerReq, row.LockHoldPerReq)
+}
+
+func runFig6c(scale experiments.Scale) {
+	fmt.Println("Fig 6c: Sysbench and Fileserver latency under colocation")
+	for _, c := range experiments.Fig6cCases() {
+		row := experiments.RunSysbench(c, scale)
+		fmt.Printf("  %-14s ssb-p99 %-12v fls-avg %-12v ssb-cores %6.1f%%\n",
+			row.Label, row.SSBLatencyP99, row.FLSLatencyAvg, row.SSBCoreUtilPct)
+	}
+}
+
+func runKVScaleout(phase experiments.KVPhase, scale experiments.Scale) {
+	label := map[experiments.KVPhase]string{experiments.PhasePut: "put", experiments.PhaseGet: "get (out-of-core)"}
+	fmt.Printf("Fig 7 scaleout: KV %s latency, private client per pool\n", label[phase])
+	for _, cfg := range experiments.Fig7aConfigs() {
+		for _, n := range experiments.Fig7ScaleoutCounts() {
+			fmt.Println("  " + experiments.RunKVScaleout(cfg, n, phase, scale).String())
+		}
+	}
+}
+
+func runKVScaleup(phase experiments.KVPhase, scale experiments.Scale) {
+	label := map[experiments.KVPhase]string{experiments.PhasePut: "put", experiments.PhaseGet: "get"}
+	fmt.Printf("Fig 7 scaleup: KV %s latency, cloned containers over shared client\n", label[phase])
+	for _, cfg := range experiments.Fig7cConfigs() {
+		for _, n := range experiments.Fig7ScaleupCounts() {
+			fmt.Println("  " + experiments.RunKVScaleup(cfg, n, phase, scale).String())
+		}
+	}
+}
+
+func runFig8(scale experiments.Scale) {
+	fmt.Println("Fig 8: webserver container startup scaleup (real time, context switches)")
+	for _, cfg := range experiments.Fig8Configs() {
+		for _, n := range experiments.Fig8Counts() {
+			fmt.Println("  " + experiments.RunStartupScaleup(cfg, n, scale).String())
+		}
+	}
+}
+
+func runSeqIO(write bool, scale experiments.Scale) {
+	kind := "Seqread"
+	if write {
+		kind = "Seqwrite"
+	}
+	fmt.Printf("Fig 9: %s scaleout\n", kind)
+	for _, cfg := range []core.Configuration{core.ConfigD, core.ConfigF, core.ConfigK} {
+		for _, n := range experiments.Fig9PoolCounts() {
+			fmt.Println("  " + experiments.RunSeqIOScaleout(cfg, n, write, scale).String())
+		}
+	}
+}
+
+func runFig10(scale experiments.Scale) {
+	fmt.Println("Fig 10: Fileserver scaleout")
+	for _, cfg := range []core.Configuration{core.ConfigD, core.ConfigF, core.ConfigK} {
+		for _, n := range experiments.Fig10PoolCounts() {
+			fmt.Println("  " + experiments.RunFileserverScaleout(cfg, n, scale).String())
+		}
+	}
+}
+
+func runFileIO(append bool, scale experiments.Scale) {
+	kind := "Fileread"
+	if append {
+		kind = "Fileappend"
+	}
+	fmt.Printf("Fig 11: %s scaleup (timespan, max memory)\n", kind)
+	for _, cfg := range experiments.Fig11Configs() {
+		for _, n := range experiments.Fig11Counts() {
+			fmt.Println("  " + experiments.RunFileIOScaleup(cfg, n, append, scale).String())
+		}
+	}
+}
+
+func runAblations(scale experiments.Scale) {
+	fmt.Println("Design-choice ablations (DESIGN.md / paper §3, §6.3.2)")
+	for _, row := range experiments.AllAblations(scale) {
+		fmt.Println("  " + row.String())
+	}
+}
+
+func runTable2(experiments.Scale) {
+	fmt.Println("Table 2: contention workload symbols")
+	for _, row := range workloads.Table2() {
+		fmt.Printf("  %-8s %s\n", row[0], row[1])
+	}
+}
+
+func runTable1(experiments.Scale) {
+	fmt.Println("Table 1: client system components")
+	fmt.Println("  Symbol  Union           UnionCache  Backend     ClientCache")
+	rows := [][5]string{
+		{"D", "Danaus (opt.)", "-", "Danaus", "UlcC"},
+		{"K", "-", "-", "CephFS", "PagC"},
+		{"F", "-", "-", "ceph-fuse", "UlcC"},
+		{"FP", "-", "-", "ceph-fuse", "UlcC+PagC"},
+		{"K/K", "AUFS", "PagC", "CephFS", "PagC"},
+		{"F/K", "unionfs-fuse", "-", "CephFS", "PagC"},
+		{"F/F", "unionfs-fuse", "-", "ceph-fuse", "UlcC"},
+		{"FP/FP", "unionfs-fuse", "PagC", "ceph-fuse", "UlcC+PagC"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-7s %-15s %-11s %-11s %s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+}

@@ -1,0 +1,42 @@
+package danaus_test
+
+import (
+	"fmt"
+
+	danaus "repro"
+)
+
+// Example builds the simulated testbed, reserves a pool for one tenant,
+// mounts a Danaus filesystem for a container and performs a write —
+// entirely in deterministic virtual time.
+func Example() {
+	tb := danaus.NewTestbed(danaus.TestbedConfig{Cores: 4})
+	tb.Cluster.ProvisionDir("/containers/c0")
+
+	pool := tb.NewPool("tenant-a", danaus.CoreMask(0, 1), 8<<30)
+	c, err := pool.NewContainer("c0", danaus.MountSpec{
+		Config:   danaus.D,
+		UpperDir: "/containers/c0",
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	tb.Eng.Go("app", func(p *danaus.Proc) {
+		ctx := danaus.Ctx{P: p, T: c.NewThread()}
+		h, err := c.Mount.Default.Open(ctx, "/hello.txt", danaus.Create|danaus.WriteOnly)
+		if err != nil {
+			panic(err)
+		}
+		h.Write(ctx, 0, 4096)
+		h.Close(ctx)
+
+		info, _ := c.Mount.Default.Stat(ctx, "/hello.txt")
+		fmt.Printf("hello.txt holds %d bytes\n", info.Size)
+		tb.Stop()
+	})
+	tb.Eng.Run()
+
+	// Output:
+	// hello.txt holds 4096 bytes
+}

@@ -1,0 +1,81 @@
+// KV store over Danaus: runs the reproduction's LSM key-value store
+// (the RocksDB stand-in of §6.3.1) on a container whose root filesystem
+// is mounted from network storage through a private Danaus client, then
+// prints put/get latencies and store internals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	tb := danaus.NewTestbed(danaus.TestbedConfig{Cores: 4})
+	if err := tb.Cluster.ProvisionDir("/containers/kv0"); err != nil {
+		log.Fatal(err)
+	}
+	pool := tb.NewPool("kv-tenant", danaus.CoreMask(0, 1), 8<<30)
+	c, err := pool.NewContainer("kv0", danaus.MountSpec{
+		Config:   danaus.D,
+		UpperDir: "/containers/kv0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb.Eng.Go("bench", func(p *danaus.Proc) {
+		ctx := danaus.Ctx{P: p, T: c.NewThread()}
+		db, err := danaus.OpenKVStore(ctx, danaus.KVStoreConfig{
+			FS:            c.Mount.Default,
+			Dir:           "/rocksdb",
+			MemtableBytes: 8 << 20,
+			Eng:           tb.Eng,
+			NewThread:     c.NewThread,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		const (
+			valueSize = 128 << 10 // the paper's 128 KB values
+			total     = 64 << 20
+		)
+		rng := rand.New(rand.NewSource(42))
+		putLat := danaus.NewHistogram()
+		keys := make([]uint64, 0, total/valueSize)
+		for written := int64(0); written < total; written += valueSize {
+			k := rng.Uint64()
+			start := p.Now()
+			if err := db.Put(ctx, k, valueSize); err != nil {
+				log.Fatal(err)
+			}
+			putLat.Record(p.Now() - start)
+			keys = append(keys, k)
+		}
+
+		getLat := danaus.NewHistogram()
+		for i := 0; i < 256; i++ {
+			k := keys[rng.Intn(len(keys))]
+			start := p.Now()
+			if _, err := db.Get(ctx, k); err != nil {
+				log.Fatal(err)
+			}
+			getLat.Record(p.Now() - start)
+		}
+
+		l0, l1 := db.Levels()
+		fmt.Printf("puts: %d  avg %v  p99 %v (stall time %v)\n",
+			putLat.Count(), putLat.Mean(), putLat.Quantile(0.99), db.StallTime)
+		fmt.Printf("gets: %d  avg %v  p99 %v\n", getLat.Count(), getLat.Mean(), getLat.Quantile(0.99))
+		fmt.Printf("store: %d flushes, %d compactions, levels L0=%d L1=%d\n",
+			db.Flushes, db.Compactions, l0, l1)
+		fmt.Printf("client cache: %d MB resident, %d MB dirty\n",
+			c.Mount.Client.Meter().Current()>>20, c.Mount.Client.DirtyBytes()>>20)
+		db.Close(ctx)
+		tb.Stop()
+	})
+	tb.Eng.Run()
+}

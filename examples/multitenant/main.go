@@ -1,0 +1,39 @@
+// Multitenant isolation: the paper's headline scenario (§6.2). A
+// Fileserver tenant runs next to a noisy RandomIO neighbour, first over
+// the kernel Ceph client (K) and then over Danaus (D). The kernel
+// client leans on the neighbour's reserved cores when they are idle and
+// collapses when they are not; Danaus serves I/O with the tenant's own
+// resources and barely notices the neighbour.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Fileserver tenant vs RandomIO neighbour (quick scale)")
+	fmt.Println()
+	fmt.Printf("%-16s %12s %18s %14s\n", "case", "FLS MB/s", "neighbor cores", "lock wait/req")
+	for _, c := range []danaus.InterferenceCase{
+		{Config: danaus.K, FLSCount: 1},
+		{Config: danaus.K, FLSCount: 1, Neighbor: "RND"},
+		{Config: danaus.D, FLSCount: 1},
+		{Config: danaus.D, FLSCount: 1, Neighbor: "RND"},
+	} {
+		row := danaus.RunInterference(c, danaus.QuickScale)
+		fmt.Printf("%-16s %12.1f %17.1f%% %14v\n",
+			row.Label, row.FLSThroughputMBps, row.NeighborCoreUtilPct, row.LockWaitPerReq)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - With the neighbour idle, the kernel client (K) runs its")
+	fmt.Println("    writeback on the neighbour's reserved cores (high neighbour")
+	fmt.Println("    utilization even though the neighbour runs nothing).")
+	fmt.Println("  - When the neighbour wakes up, K loses those cores and its")
+	fmt.Println("    throughput drops, while its kernel lock waits grow.")
+	fmt.Println("  - Danaus (D) keeps the neighbour's cores untouched and its")
+	fmt.Println("    throughput steady: the tenant's I/O is served end-to-end")
+	fmt.Println("    with the tenant's own reserved resources.")
+}

@@ -1,0 +1,524 @@
+// Package cephclient implements the user-level Ceph filesystem client
+// (the libcephfs-like libservice): an object cache for data and
+// metadata in user memory, dirty thresholds with user-level flusher
+// threads, and the coarse global client_lock whose serialization caps
+// cached-read concurrency (§6.3.2 of the paper).
+//
+// The same client backs both ceph-fuse (configurations F, FP — reached
+// through the FUSE transport) and Danaus (configuration D — reached
+// through shared-memory IPC or direct function calls from the union
+// libservice).
+package cephclient
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/extent"
+	"repro/internal/memacct"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// Config configures one client instance.
+type Config struct {
+	// Name identifies the client in diagnostics.
+	Name string
+	// CacheLimit bounds the user-level object cache (the paper sets it
+	// to 50% of the pool memory).
+	CacheLimit int64
+	// MaxDirty is the dirty throttle threshold; defaults to 50% of the
+	// cache limit (the paper's setting).
+	MaxDirty int64
+	// Mask pins the client's threads (service and flushers) to the
+	// pool's reserved cores. Zero means unpinned.
+	Mask cpu.Mask
+	// Acct attributes the client's CPU consumption.
+	Acct *cpu.Account
+	// Meter attributes the client's cache memory; optional.
+	Meter *memacct.Meter
+	// Flushers is the number of user-level writeback threads
+	// (default 1).
+	Flushers int
+}
+
+// Client is a user-level Ceph client. It implements vfsapi.FileSystem.
+type Client struct {
+	eng    *sim.Engine
+	cpus   *cpu.CPU
+	params *model.Params
+	clus   *cluster.Cluster
+	cfg    Config
+	meter  *memacct.Meter
+
+	// clientLock is libcephfs's global lock: held for every cache and
+	// metadata manipulation and for part of each data copy.
+	clientLock *sim.Mutex
+
+	files map[uint64]*cfile
+	attrs map[string]attrEntry
+	paths map[uint64]string
+	lru   *list.List
+
+	dirtyBytes  int64
+	dirtyList   []*cfile
+	oldestDirty time.Duration
+
+	// CacheStats counts data-path cache behaviour.
+	stats     CacheStats
+	throttleQ *sim.WaitQueue
+	flushQ    *sim.WaitQueue
+	fetchQ    *sim.WaitQueue // readers waiting on in-flight fetches
+	stopped   bool
+	crashed   bool
+	threads   []*cpu.Thread // the client's own threads, for repinning
+}
+
+type attrEntry struct {
+	info vfsapi.FileInfo
+	ino  uint64
+}
+
+type cfile struct {
+	ino        uint64
+	size       int64
+	cached     extent.Set
+	dirty      extent.Set
+	fetching   extent.Set // ranges being fetched by another reader
+	lruElem    *list.Element
+	inDirty    bool
+	dirtySince time.Duration
+	unlinked   bool
+}
+
+// New creates a client and starts its flusher threads.
+func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params, clus *cluster.Cluster, cfg Config) *Client {
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = 1 << 62
+	}
+	if cfg.MaxDirty <= 0 {
+		cfg.MaxDirty = cfg.CacheLimit / 2
+	}
+	if cfg.Acct == nil {
+		cfg.Acct = cpu.NewAccount(cfg.Name)
+	}
+	if cfg.Flushers <= 0 {
+		cfg.Flushers = 1
+	}
+	meter := cfg.Meter
+	if meter == nil {
+		meter = memacct.NewMeter(cfg.Name + ".ulcc")
+	}
+	c := &Client{
+		eng:        eng,
+		cpus:       cpus,
+		params:     params,
+		clus:       clus,
+		cfg:        cfg,
+		meter:      meter,
+		clientLock: sim.NewMutex(eng, cfg.Name+".client_lock"),
+		files:      map[uint64]*cfile{},
+		attrs:      map[string]attrEntry{},
+		paths:      map[uint64]string{},
+		lru:        list.New(),
+		throttleQ:  sim.NewWaitQueue(eng, cfg.Name+".throttle"),
+		flushQ:     sim.NewWaitQueue(eng, cfg.Name+".flush"),
+		fetchQ:     sim.NewWaitQueue(eng, cfg.Name+".fetch"),
+	}
+	for i := 0; i < cfg.Flushers; i++ {
+		eng.Go(cfg.Name+".flusher", func(p *sim.Proc) { c.flusherLoop(p) })
+	}
+	return c
+}
+
+// Stop terminates the flusher threads so the engine can drain, and
+// releases any writer still parked on the dirty threshold.
+func (c *Client) Stop() {
+	c.stopped = true
+	c.flushQ.Broadcast()
+	c.throttleQ.Broadcast()
+}
+
+// Repin moves the client's service threads to a new core mask — the
+// §9 dynamic reallocation of underutilized resources: a tenant's
+// reservation can grow or shrink at runtime without remounting.
+func (c *Client) Repin(mask cpu.Mask) {
+	c.cfg.Mask = mask
+	for _, th := range c.threads {
+		th.SetAffinity(mask)
+	}
+}
+
+// Crash simulates the failure of this filesystem service: every cached
+// and dirty byte is lost, the service threads die, and subsequent
+// operations fail with ErrCrashed. Per the paper's fault-containment
+// analysis (§5), the blast radius is exactly this client: data already
+// flushed to the storage backend survives, and other pools' services
+// are untouched. Per the consistency discussion (§3.4), unflushed
+// writes are lost and applications must repeat unacknowledged requests.
+func (c *Client) Crash() {
+	c.crashed = true
+	if n := c.meter.Current(); n > 0 {
+		c.meter.Free(n)
+	}
+	c.files = map[uint64]*cfile{}
+	c.attrs = map[string]attrEntry{}
+	c.paths = map[uint64]string{}
+	c.lru.Init()
+	c.dirtyBytes = 0
+	c.dirtyList = nil
+	c.Stop()
+}
+
+// Crashed reports whether the service has failed.
+func (c *Client) Crashed() bool { return c.crashed }
+
+// failIfCrashed is checked on the entry of every operation.
+func (c *Client) failIfCrashed() error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Meter returns the client cache memory meter.
+func (c *Client) Meter() *memacct.Meter { return c.meter }
+
+// Account returns the client's CPU account.
+func (c *Client) Account() *cpu.Account { return c.cfg.Acct }
+
+// ClientLock exposes the global lock for contention inspection.
+func (c *Client) ClientLock() *sim.Mutex { return c.clientLock }
+
+// DirtyBytes returns bytes awaiting writeback.
+func (c *Client) DirtyBytes() int64 { return c.dirtyBytes }
+
+// CacheStats aggregates data-path cache behaviour of a client.
+type CacheStats struct {
+	// ReadBytes is the total bytes served to readers.
+	ReadBytes int64
+	// MissBytes is the portion fetched from the backend.
+	MissBytes int64
+	// WriteBytes is the total bytes written through the cache.
+	WriteBytes int64
+	// FlushedBytes is the dirty data written back to the backend.
+	FlushedBytes int64
+}
+
+// HitRatio returns the fraction of read bytes served from the cache.
+func (s CacheStats) HitRatio() float64 {
+	if s.ReadBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.MissBytes)/float64(s.ReadBytes)
+}
+
+// Stats returns a snapshot of the client's cache statistics.
+func (c *Client) Stats() CacheStats { return c.stats }
+
+// opCPU charges the fixed user-level cost of one client operation.
+func (c *Client) opCPU(ctx vfsapi.Ctx) {
+	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientOpCost)
+}
+
+// lockedMeta runs fn holding client_lock with the standard hold charge.
+func (c *Client) lockedMeta(ctx vfsapi.Ctx, fn func()) {
+	c.clientLock.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientLockHold)
+	fn()
+	c.clientLock.Unlock(ctx.P)
+}
+
+// wire charges the client-side costs of moving n bytes on the network:
+// socket syscalls (kernel mode on the caller's cores), protocol CPU,
+// and the user-level message checksum.
+func (c *Client) wire(ctx vfsapi.Ctx, n int64) {
+	ctx.T.ModeSwitch(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.Kernel, c.params.NetOpCost)
+	ctx.T.ExecBytes(ctx.P, cpu.Kernel, n, c.params.NetCPUBytesPerSec)
+	ctx.T.ModeSwitch(ctx.P)
+	ctx.T.ExecBytes(ctx.P, cpu.User, n, c.params.ChecksumBytesPerSec)
+}
+
+// copyData charges a data copy of n bytes, a fraction of it while
+// holding client_lock. The read path holds the lock for most of the
+// copy (buffer-head lookup and read completion run under it — the
+// concurrency cap of §6.3.2), while buffered writes release it early.
+func (c *Client) copyData(ctx vfsapi.Ctx, n int64, write bool) {
+	total := c.params.CopyTime(n)
+	fraction := c.params.ClientLockCopyFraction
+	if write {
+		fraction *= 0.25
+	}
+	under := time.Duration(float64(total) * fraction)
+	c.clientLock.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientLockHold+under)
+	c.clientLock.Unlock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.User, total-under)
+}
+
+func (c *Client) file(ino uint64, size int64) *cfile {
+	f, ok := c.files[ino]
+	if !ok {
+		f = &cfile{ino: ino, size: size}
+		c.files[ino] = f
+	}
+	return f
+}
+
+func (c *Client) touch(f *cfile) {
+	if f.lruElem == nil {
+		f.lruElem = c.lru.PushBack(f)
+		return
+	}
+	c.lru.MoveToBack(f.lruElem)
+}
+
+// cacheInsert adds residency and evicts cold clean data over the limit.
+// Caller must NOT hold client_lock.
+func (c *Client) cacheInsert(ctx vfsapi.Ctx, f *cfile, off, n int64) {
+	c.lockedMeta(ctx, func() {
+		added := f.cached.Insert(off, n)
+		c.meter.Alloc(added)
+		c.touch(f)
+	})
+	if c.meter.Current() > c.cfg.CacheLimit {
+		c.evict(ctx)
+	}
+}
+
+func (c *Client) evict(ctx vfsapi.Ctx) {
+	watermark := c.cfg.CacheLimit - c.cfg.CacheLimit/16
+	c.lockedMeta(ctx, func() {
+		e := c.lru.Front()
+		for e != nil && c.meter.Current() > watermark {
+			next := e.Next()
+			f := e.Value.(*cfile)
+			before := f.cached.Len()
+			keep := f.dirty.Extents()
+			f.cached.Clear()
+			for _, d := range keep {
+				f.cached.Insert(d.Off, d.Len)
+			}
+			if freed := before - f.cached.Len(); freed > 0 {
+				c.meter.Free(freed)
+			}
+			if f.cached.Len() == 0 {
+				c.lru.Remove(e)
+				f.lruElem = nil
+			}
+			e = next
+		}
+	})
+}
+
+func (c *Client) markDirty(ctx vfsapi.Ctx, f *cfile, off, n int64) {
+	var newly int64
+	c.lockedMeta(ctx, func() {
+		newly = f.dirty.Insert(off, n)
+		if newly > 0 {
+			if !f.inDirty {
+				f.inDirty = true
+				f.dirtySince = c.eng.Now()
+				c.dirtyList = append(c.dirtyList, f)
+				if len(c.dirtyList) == 1 {
+					c.oldestDirty = f.dirtySince
+				}
+			}
+			c.dirtyBytes += newly
+		}
+	})
+	if c.dirtyBytes >= c.cfg.MaxDirty/2 {
+		c.flushQ.Broadcast()
+	}
+	// The stopped check makes teardown safe: once the client's flusher
+	// threads have been stopped nobody can lower the dirty level, so a
+	// straggling writer must not spin on the threshold.
+	for c.dirtyBytes >= c.cfg.MaxDirty && !c.stopped {
+		start := c.eng.Now()
+		c.throttleQ.WaitTimeout(ctx.P, c.params.DirtyThrottleCheck)
+		ctx.T.Account().AddIOWait(c.eng.Now() - start)
+	}
+}
+
+// flusherLoop is a user-level writeback thread pinned to the pool's
+// cores: Danaus flushes with the tenant's own reserved resources.
+func (c *Client) flusherLoop(p *sim.Proc) {
+	th := c.cpus.NewThread(c.cfg.Acct, c.cfg.Mask)
+	c.threads = append(c.threads, th)
+	ctx := vfsapi.Ctx{P: p, T: th}
+	for !c.stopped {
+		c.flushQ.WaitTimeout(p, c.params.WritebackInterval)
+		if c.stopped {
+			return
+		}
+		c.flushPass(ctx)
+	}
+}
+
+func (c *Client) flushPass(ctx vfsapi.Ctx) {
+	const batch = 1 << 20
+	for {
+		now := c.eng.Now()
+		needed := c.dirtyBytes >= c.cfg.MaxDirty/2 ||
+			(c.dirtyBytes > 0 && now-c.oldestDirty >= c.params.DirtyExpire)
+		if !needed {
+			return
+		}
+		f := c.nextDirtyFile()
+		if f == nil {
+			return
+		}
+		var exts []extent.Extent
+		c.lockedMeta(ctx, func() { exts = f.dirty.PopFirst(batch) })
+		var total int64
+		for _, e := range exts {
+			total += e.Len
+			if !f.unlinked {
+				c.wire(ctx, e.Len)
+				c.clus.Write(ctx, f.ino, e.Off, e.Len)
+				c.stats.FlushedBytes += e.Len
+			}
+		}
+		c.dirtyBytes -= total
+		if f.dirty.Len() == 0 {
+			c.removeDirty(f)
+			if !f.unlinked {
+				c.pushSize(ctx, f)
+			}
+		}
+		c.throttleQ.Broadcast()
+	}
+}
+
+func (c *Client) nextDirtyFile() *cfile {
+	for len(c.dirtyList) > 0 {
+		f := c.dirtyList[0]
+		if f.dirty.Len() == 0 {
+			c.removeDirty(f)
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (c *Client) removeDirty(f *cfile) {
+	for i, g := range c.dirtyList {
+		if g == f {
+			c.dirtyList = append(c.dirtyList[:i], c.dirtyList[i+1:]...)
+			break
+		}
+	}
+	f.inDirty = false
+	if len(c.dirtyList) > 0 {
+		c.oldestDirty = c.dirtyList[0].dirtySince
+	}
+}
+
+// pushSize propagates the client's size view to the MDS.
+func (c *Client) pushSize(ctx vfsapi.Ctx, f *cfile) {
+	path, ok := c.paths[f.ino]
+	if !ok {
+		return
+	}
+	c.wire(ctx, 256)
+	c.clus.MetaSetSize(ctx, path, f.size)
+	if e, ok := c.attrs[path]; ok {
+		if f.size > e.info.Size {
+			e.info.Size = f.size
+			c.attrs[path] = e
+		}
+	}
+}
+
+// RevokeCaps implements cluster.CapHolder: another client wants
+// conflicting access to ino, so this client flushes the file's dirty
+// data, pushes its size, and drops every cached byte and attribute for
+// it. The next access re-fetches fresh state from the backend.
+func (c *Client) RevokeCaps(ctx vfsapi.Ctx, ino uint64) {
+	f, ok := c.files[ino]
+	if !ok {
+		if path, ok2 := c.paths[ino]; ok2 {
+			delete(c.attrs, path)
+		}
+		return
+	}
+	for f.dirty.Len() > 0 {
+		var exts []extent.Extent
+		c.lockedMeta(ctx, func() { exts = f.dirty.PopFirst(4 << 20) })
+		var total int64
+		for _, e := range exts {
+			c.wire(ctx, e.Len)
+			c.clus.Write(ctx, f.ino, e.Off, e.Len)
+			total += e.Len
+		}
+		c.dirtyBytes -= total
+	}
+	c.removeDirty(f)
+	c.pushSize(ctx, f)
+	c.throttleQ.Broadcast()
+	c.lockedMeta(ctx, func() { c.dropCache(f) })
+	if path, ok := c.paths[ino]; ok {
+		delete(c.attrs, path)
+	}
+	delete(c.files, ino)
+	c.clus.ReleaseCaps(ino, c)
+}
+
+// SyncAll synchronously flushes every dirty file and pushes its size
+// to the MDS — the quiesce step of container migration (§9): after
+// SyncAll the container state is fully visible through the shared
+// filesystem from any other client.
+func (c *Client) SyncAll(ctx vfsapi.Ctx) {
+	for {
+		f := c.nextDirtyFile()
+		if f == nil {
+			return
+		}
+		for f.dirty.Len() > 0 {
+			var exts []extent.Extent
+			c.lockedMeta(ctx, func() { exts = f.dirty.PopFirst(4 << 20) })
+			var total int64
+			for _, e := range exts {
+				c.wire(ctx, e.Len)
+				c.clus.Write(ctx, f.ino, e.Off, e.Len)
+				total += e.Len
+			}
+			c.dirtyBytes -= total
+		}
+		c.removeDirty(f)
+		c.pushSize(ctx, f)
+		c.throttleQ.Broadcast()
+	}
+}
+
+func (c *Client) dropCache(f *cfile) {
+	if n := f.cached.Len(); n > 0 {
+		c.meter.Free(n)
+	}
+	f.cached.Clear()
+	if f.lruElem != nil {
+		c.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+	if d := f.dirty.Len(); d > 0 {
+		c.dirtyBytes -= d
+		f.dirty.Clear()
+		c.removeDirty(f)
+		c.throttleQ.Broadcast()
+	}
+}
+
+// DirtyAudit recomputes dirty accounting from first principles for
+// invariant checks in tests: the sum of per-file dirty bytes, the
+// number of files in the dirty list, and the tracked counter.
+func (c *Client) DirtyAudit() (fileSum int64, listed int, counter int64) {
+	for _, f := range c.files {
+		fileSum += f.dirty.Len()
+	}
+	return fileSum, len(c.dirtyList), c.dirtyBytes
+}

@@ -1,0 +1,344 @@
+package cephclient
+
+import (
+	"errors"
+
+	"repro/internal/cluster"
+	"repro/internal/vfsapi"
+)
+
+// ErrCrashed is returned by every operation after the filesystem
+// service has failed.
+var ErrCrashed = errors.New("cephclient: filesystem service crashed")
+
+// The vfsapi.FileSystem implementation of the user-level client.
+
+// lookupAttr resolves a path via the attribute cache, falling back to
+// an MDS round trip.
+func (c *Client) lookupAttr(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64, error) {
+	var hit bool
+	var e attrEntry
+	c.lockedMeta(ctx, func() { e, hit = c.attrs[path] })
+	if hit {
+		return e.info, e.ino, nil
+	}
+	c.wire(ctx, 256)
+	info, ino, err := c.clus.MetaLookup(ctx, path)
+	if err != nil {
+		return vfsapi.FileInfo{}, 0, err
+	}
+	c.lockedMeta(ctx, func() {
+		c.attrs[path] = attrEntry{info: info, ino: ino}
+		c.paths[ino] = path
+	})
+	return info, ino, nil
+}
+
+// Open opens or creates a file.
+func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	if err := c.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	c.opCPU(ctx)
+	info, ino, err := c.lookupAttr(ctx, path)
+	switch {
+	case err == nil:
+		if info.IsDir {
+			return nil, vfsapi.ErrIsDir
+		}
+	case err == vfsapi.ErrNotExist && flags.Has(vfsapi.CREATE):
+		c.wire(ctx, 256)
+		ino, err = c.clus.MetaCreate(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		info = vfsapi.FileInfo{Name: path}
+		c.lockedMeta(ctx, func() {
+			c.attrs[path] = attrEntry{info: info, ino: ino}
+			c.paths[ino] = path
+		})
+	default:
+		return nil, err
+	}
+	// Acquire capabilities matching the open intent; a conflicting
+	// holder elsewhere is flushed and invalidated first (§3.4). When a
+	// revocation happened, the size we looked up may predate the other
+	// client's flush — refetch it.
+	kind := cluster.CapRead
+	if flags.Writable() {
+		kind = cluster.CapWrite
+	}
+	if c.clus.AcquireCaps(ctx, ino, kind, c) {
+		c.lockedMeta(ctx, func() { delete(c.attrs, path) })
+		var err error
+		info, ino, err = c.lookupAttr(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := c.file(ino, info.Size)
+	if flags.Has(vfsapi.TRUNC) && flags.Writable() {
+		c.lockedMeta(ctx, func() { c.dropCache(f) })
+		f.size = 0
+		c.wire(ctx, 256)
+		if err := c.clus.MetaSetSize(ctx, path, 0); err != nil {
+			return nil, err
+		}
+		c.lockedMeta(ctx, func() {
+			if e, ok := c.attrs[path]; ok {
+				e.info.Size = 0
+				c.attrs[path] = e
+			}
+		})
+	}
+	return &chandle{c: c, f: f, path: path, flags: flags}, nil
+}
+
+// Stat returns metadata, preferring the client's newer size view.
+func (c *Client) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	if err := c.failIfCrashed(); err != nil {
+		return vfsapi.FileInfo{}, err
+	}
+	c.opCPU(ctx)
+	info, ino, err := c.lookupAttr(ctx, path)
+	if err != nil {
+		return vfsapi.FileInfo{}, err
+	}
+	if f, ok := c.files[ino]; ok && !info.IsDir && f.size > info.Size {
+		info.Size = f.size
+	}
+	return info, nil
+}
+
+// Mkdir creates a directory at the MDS.
+func (c *Client) Mkdir(ctx vfsapi.Ctx, path string) error {
+	c.opCPU(ctx)
+	c.wire(ctx, 256)
+	return c.clus.MetaMkdir(ctx, path)
+}
+
+// Readdir lists a directory at the MDS.
+func (c *Client) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	c.opCPU(ctx)
+	c.wire(ctx, 512)
+	return c.clus.MetaReaddir(ctx, path)
+}
+
+// Unlink removes a file, dropping local cache state.
+func (c *Client) Unlink(ctx vfsapi.Ctx, path string) error {
+	c.opCPU(ctx)
+	c.wire(ctx, 256)
+	if err := c.clus.MetaUnlink(ctx, path); err != nil {
+		return err
+	}
+	c.lockedMeta(ctx, func() {
+		if e, ok := c.attrs[path]; ok {
+			if f, ok := c.files[e.ino]; ok {
+				f.unlinked = true
+				c.dropCache(f)
+				delete(c.files, e.ino)
+			}
+			delete(c.paths, e.ino)
+			delete(c.attrs, path)
+		}
+	})
+	return nil
+}
+
+// Rmdir removes an empty directory at the MDS.
+func (c *Client) Rmdir(ctx vfsapi.Ctx, path string) error {
+	c.opCPU(ctx)
+	c.wire(ctx, 256)
+	return c.clus.MetaRmdir(ctx, path)
+}
+
+// Rename moves a file at the MDS and rewrites cached entries.
+func (c *Client) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	c.opCPU(ctx)
+	c.wire(ctx, 256)
+	if err := c.clus.MetaRename(ctx, oldPath, newPath); err != nil {
+		return err
+	}
+	c.lockedMeta(ctx, func() {
+		if e, ok := c.attrs[oldPath]; ok {
+			delete(c.attrs, oldPath)
+			c.attrs[newPath] = e
+			c.paths[e.ino] = newPath
+		}
+	})
+	return nil
+}
+
+// chandle is an open file on the user-level client.
+type chandle struct {
+	c      *Client
+	f      *cfile
+	path   string
+	flags  vfsapi.OpenFlag
+	closed bool
+	wrote  bool
+
+	// Sequential-read detection for the client's readahead.
+	raNext   int64
+	raWindow int64
+}
+
+// Path returns the open path.
+func (h *chandle) Path() string { return h.path }
+
+// Size returns the client's size view.
+func (h *chandle) Size() int64 { return h.f.size }
+
+// Read serves from the object cache, fetching misses from the OSDs.
+func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if err := h.c.failIfCrashed(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	c := h.c
+	c.opCPU(ctx)
+	if off >= h.f.size {
+		return 0, nil
+	}
+	if off+n > h.f.size {
+		n = h.f.size - off
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	c.lockedMeta(ctx, func() { c.touch(h.f) })
+	// Readahead (libcephfs prefetches on sequential streams): grow the
+	// fetch window while the stream stays sequential.
+	fetchLen := n
+	const maxReadahead = 512 << 10
+	if off == h.raNext {
+		if h.raWindow == 0 {
+			h.raWindow = maxReadahead / 8
+		}
+		h.raWindow *= 2
+		if h.raWindow > maxReadahead {
+			h.raWindow = maxReadahead
+		}
+	} else {
+		h.raWindow = 0 // random access: no readahead
+	}
+	fetchLen += h.raWindow
+	if off+fetchLen > h.f.size {
+		fetchLen = h.f.size - off
+	}
+	h.raNext = off + n
+	// Fetch misses with single-fetcher semantics: a range already being
+	// fetched by another reader is awaited, not re-fetched (the page
+	// in-flight locking of a real client).
+	for {
+		var gOff, gLen int64
+		wait := false
+		c.lockedMeta(ctx, func() {
+			gaps := h.f.cached.Gaps(off, fetchLen)
+			if len(gaps) == 0 {
+				return
+			}
+			g := gaps[0]
+			if h.f.fetching.Covered(g.Off, g.Len) > 0 {
+				wait = true
+				return
+			}
+			gOff, gLen = g.Off, g.Len
+			h.f.fetching.Insert(gOff, gLen)
+		})
+		if wait {
+			c.fetchQ.WaitTimeout(ctx.P, c.params.DirtyThrottleCheck)
+			continue
+		}
+		if gLen == 0 {
+			break
+		}
+		c.wire(ctx, gLen)
+		c.clus.Read(ctx, h.f.ino, gOff, gLen)
+		c.stats.MissBytes += gLen
+		c.cacheInsert(ctx, h.f, gOff, gLen)
+		c.lockedMeta(ctx, func() { h.f.fetching.Remove(gOff, gLen) })
+		c.fetchQ.Broadcast()
+	}
+	// Copy out of the object cache (partially under client_lock).
+	c.stats.ReadBytes += n
+	c.copyData(ctx, n, false)
+	return n, nil
+}
+
+// Write copies into the object cache and marks dirty, throttling at the
+// client's dirty limit.
+func (h *chandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if err := h.c.failIfCrashed(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	if !h.flags.Writable() && !h.flags.Has(vfsapi.CREATE) {
+		return 0, vfsapi.ErrReadOnly
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	c := h.c
+	c.opCPU(ctx)
+	h.wrote = true
+	c.stats.WriteBytes += n
+	c.copyData(ctx, n, true)
+	c.cacheInsert(ctx, h.f, off, n)
+	if end := off + n; end > h.f.size {
+		h.f.size = end
+	}
+	c.markDirty(ctx, h.f, off, n)
+	return n, nil
+}
+
+// Append writes at the end of file.
+func (h *chandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
+	off := h.f.size
+	_, err := h.Write(ctx, off, n)
+	return off, err
+}
+
+// Fsync drains this file's dirty data synchronously.
+func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	c := h.c
+	for h.f.dirty.Len() > 0 {
+		var exts []int64
+		c.lockedMeta(ctx, func() {
+			for _, e := range h.f.dirty.PopFirst(4 << 20) {
+				exts = append(exts, e.Off, e.Len)
+			}
+		})
+		var total int64
+		for i := 0; i < len(exts); i += 2 {
+			c.wire(ctx, exts[i+1])
+			c.clus.Write(ctx, h.f.ino, exts[i], exts[i+1])
+			total += exts[i+1]
+		}
+		c.dirtyBytes -= total
+		c.throttleQ.Broadcast()
+	}
+	c.removeDirty(h.f)
+	c.pushSize(ctx, h.f)
+	return nil
+}
+
+// Close releases the handle, pushing the size for written files.
+func (h *chandle) Close(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	h.closed = true
+	h.c.opCPU(ctx)
+	if h.wrote && !h.f.unlinked {
+		h.c.pushSize(ctx, h.f)
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+// Package cluster models the storage backend of the testbed: a Ceph-like
+// cluster of object storage devices (OSDs) holding 4 MB file objects on
+// ramdisks, and a metadata server (MDS) owning the filesystem namespace.
+// Clients reach the cluster through the simulated network fabric; OSD
+// media and MDS processing serialize per server, so the backend exhibits
+// realistic saturation under scaleout load.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/nstree"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// Cluster is the storage backend: one MDS plus a set of OSDs.
+type Cluster struct {
+	eng    *sim.Engine
+	params *model.Params
+	fabric *netsim.Fabric
+
+	osds []*OSD
+	mds  *MDS
+	caps map[uint64][]capEntry
+
+	// replication is the number of OSD copies per object (Ceph pool
+	// "size"). The default of 1 matches the paper's ramdisk evaluation
+	// cluster; raising it makes every object write also update the
+	// replicas on the next OSDs of the ring.
+	replication int
+}
+
+// OSD is one object storage device backed by a ramdisk.
+type OSD struct {
+	index  int
+	media  *sim.Mutex
+	params *model.Params
+
+	objects      map[objectID]int64 // allocated bytes per object
+	bytesRead    uint64
+	bytesWritten uint64
+	ops          uint64
+
+	// degraded multiplies media service time (fault injection: a
+	// recovering or overloaded OSD slows every placement group it
+	// hosts, but the data path stays correct).
+	degraded float64
+}
+
+// SetDegraded slows the OSD's media by the given factor (1 = healthy).
+func (o *OSD) SetDegraded(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	o.degraded = factor
+}
+
+func (o *OSD) mediaTime(n int64) time.Duration {
+	d := model.RateTime(n, o.params.OSDRamdiskBytesPerSec)
+	if o.degraded > 1 {
+		d = time.Duration(float64(d) * o.degraded)
+	}
+	return d
+}
+
+type objectID struct {
+	ino uint64
+	idx int64
+}
+
+// MDS is the metadata server: it owns the namespace tree and serializes
+// metadata processing.
+type MDS struct {
+	cpu    *sim.Mutex
+	params *model.Params
+	tree   *nstree.Tree
+	ops    uint64
+}
+
+// New builds a cluster of nOSD object servers and one MDS, wired to the
+// last server slots of a fresh fabric (servers 0..nOSD-1 are OSDs,
+// server nOSD is the MDS).
+func New(eng *sim.Engine, params *model.Params, nOSD int) *Cluster {
+	c := &Cluster{
+		eng:    eng,
+		params: params,
+		fabric: netsim.NewFabric(eng, params, nOSD+1),
+	}
+	for i := 0; i < nOSD; i++ {
+		c.osds = append(c.osds, &OSD{
+			index:   i,
+			media:   sim.NewMutex(eng, "osd.media"),
+			params:  params,
+			objects: map[objectID]int64{},
+		})
+	}
+	c.mds = &MDS{
+		cpu:    sim.NewMutex(eng, "mds.cpu"),
+		params: params,
+		tree:   nstree.New(),
+	}
+	c.replication = 1
+	return c
+}
+
+// SetReplication sets the number of copies kept per object (>= 1).
+// Writes fan out to the primary and its ring successors; reads are
+// served by the primary.
+func (c *Cluster) SetReplication(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.osds) {
+		n = len(c.osds)
+	}
+	c.replication = n
+}
+
+// Replication returns the configured copy count.
+func (c *Cluster) Replication() int { return c.replication }
+
+// Fabric exposes the network for contention inspection in tests.
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// OSDs returns the object servers.
+func (c *Cluster) OSDs() []*OSD { return c.osds }
+
+// Tree returns the authoritative namespace (for zero-cost test setup
+// and image preparation; simulated clients use the Meta* calls).
+func (c *Cluster) Tree() *nstree.Tree { return c.mds.tree }
+
+// mdsServer is the fabric index of the MDS.
+func (c *Cluster) mdsServer() int { return len(c.osds) }
+
+// placement maps an object to its OSD deterministically (a stand-in for
+// CRUSH).
+func (c *Cluster) placement(ino uint64, objIdx int64) int {
+	h := ino*2654435761 + uint64(objIdx)*0x9E3779B97F4A7C15
+	return int(h % uint64(len(c.osds)))
+}
+
+const (
+	metaReqBytes  = 256
+	metaRepBytes  = 256
+	dataHdrBytes  = 128
+	dataRepBytes  = 64
+	dirEntryBytes = 64
+)
+
+// --- Metadata operations (request/response with the MDS) ---
+
+func (c *Cluster) mdsRPC(ctx vfsapi.Ctx, extraReply int64, op func() error) error {
+	c.fabric.Request(ctx.P, c.mdsServer(), metaReqBytes)
+	c.mds.cpu.Lock(ctx.P)
+	ctx.P.Sleep(c.params.MDSOpCost)
+	c.mds.ops++
+	err := op()
+	c.mds.cpu.Unlock(ctx.P)
+	c.fabric.Reply(ctx.P, c.mdsServer(), metaRepBytes+extraReply)
+	return err
+}
+
+// MetaLookup resolves path at the MDS, returning a snapshot of the node.
+func (c *Cluster) MetaLookup(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64, error) {
+	var info vfsapi.FileInfo
+	var ino uint64
+	err := c.mdsRPC(ctx, 0, func() error {
+		n, err := c.mds.tree.Lookup(path)
+		if err != nil {
+			return err
+		}
+		info = n.Info()
+		ino = n.Ino
+		return nil
+	})
+	return info, ino, err
+}
+
+// MetaCreate creates a file at the MDS.
+func (c *Cluster) MetaCreate(ctx vfsapi.Ctx, path string) (uint64, error) {
+	var ino uint64
+	err := c.mdsRPC(ctx, 0, func() error {
+		n, err := c.mds.tree.Create(path, c.eng.Now())
+		if err != nil {
+			return err
+		}
+		ino = n.Ino
+		return nil
+	})
+	return ino, err
+}
+
+// MetaMkdir creates a directory at the MDS.
+func (c *Cluster) MetaMkdir(ctx vfsapi.Ctx, path string) error {
+	return c.mdsRPC(ctx, 0, func() error {
+		_, err := c.mds.tree.Mkdir(path, c.eng.Now())
+		return err
+	})
+}
+
+// MetaReaddir lists a directory at the MDS.
+func (c *Cluster) MetaReaddir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	var ents []vfsapi.DirEntry
+	// Listing cost scales with the directory size; fetch the entries
+	// first so the reply transfer can be sized.
+	err := c.mdsRPC(ctx, 0, func() error {
+		var err error
+		ents, err = c.mds.tree.Readdir(path)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n := int64(len(ents)) * dirEntryBytes; n > 0 {
+		c.fabric.Reply(ctx.P, c.mdsServer(), n)
+	}
+	return ents, nil
+}
+
+// MetaUnlink removes a file at the MDS.
+func (c *Cluster) MetaUnlink(ctx vfsapi.Ctx, path string) error {
+	return c.mdsRPC(ctx, 0, func() error {
+		_, err := c.mds.tree.Unlink(path)
+		return err
+	})
+}
+
+// MetaRmdir removes a directory at the MDS.
+func (c *Cluster) MetaRmdir(ctx vfsapi.Ctx, path string) error {
+	return c.mdsRPC(ctx, 0, func() error {
+		return c.mds.tree.Rmdir(path)
+	})
+}
+
+// MetaRename renames at the MDS.
+func (c *Cluster) MetaRename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	return c.mdsRPC(ctx, 0, func() error {
+		return c.mds.tree.Rename(oldPath, newPath, c.eng.Now())
+	})
+}
+
+// MetaSetSize updates the authoritative size of path (sent by clients
+// when flushing dirty data or closing a written file).
+func (c *Cluster) MetaSetSize(ctx vfsapi.Ctx, path string, size int64) error {
+	return c.mdsRPC(ctx, 0, func() error {
+		n, err := c.mds.tree.Lookup(path)
+		if err != nil {
+			return err
+		}
+		if size > n.Size {
+			n.Size = size
+		}
+		n.MTime = c.eng.Now()
+		return nil
+	})
+}
+
+// --- Data operations (request/response with an OSD) ---
+
+// Write stores [off, off+n) of the file identified by ino, splitting
+// the range across 4 MB objects placed on the OSDs. The write is
+// acknowledged after the primary and every replica have it (the
+// replicas are updated by the primary over the server network). It
+// blocks the caller for the full round trips.
+func (c *Cluster) Write(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	c.eachObject(off, n, func(objIdx, objOff, seg int64) {
+		s := c.placement(ino, objIdx)
+		c.fabric.Request(ctx.P, s, dataHdrBytes+seg)
+		c.osds[s].write(ctx.P, objectID{ino, objIdx}, objOff, seg)
+		for r := 1; r < c.replication; r++ {
+			rs := (s + r) % len(c.osds)
+			// Primary forwards to the replica: replica-side network in
+			// plus its media write.
+			c.fabric.Servers[rs].RX.Transfer(ctx.P, seg)
+			c.osds[rs].write(ctx.P, objectID{ino, objIdx}, objOff, seg)
+		}
+		c.fabric.Reply(ctx.P, s, dataRepBytes)
+	})
+}
+
+// Read fetches [off, off+n) of ino from the OSDs.
+func (c *Cluster) Read(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	c.eachObject(off, n, func(objIdx, objOff, seg int64) {
+		s := c.placement(ino, objIdx)
+		osd := c.osds[s]
+		c.fabric.Request(ctx.P, s, dataHdrBytes)
+		osd.read(ctx.P, objectID{ino, objIdx}, objOff, seg)
+		c.fabric.Reply(ctx.P, s, dataRepBytes+seg)
+	})
+}
+
+func (c *Cluster) eachObject(off, n int64, fn func(objIdx, objOff, seg int64)) {
+	size := c.params.ObjectSize
+	for n > 0 {
+		objIdx := off / size
+		objOff := off % size
+		seg := size - objOff
+		if n < seg {
+			seg = n
+		}
+		fn(objIdx, objOff, seg)
+		off += seg
+		n -= seg
+	}
+}
+
+func (o *OSD) write(p *sim.Proc, id objectID, off, n int64) {
+	o.media.Lock(p)
+	p.Sleep(o.params.OSDOpCost)
+	// Journal + data: writes cost JournalFactor × media time.
+	mediaBytes := int64(float64(n) * o.params.OSDJournalFactor)
+	p.Sleep(o.mediaTime(mediaBytes))
+	if end := off + n; end > o.objects[id] {
+		o.objects[id] = end
+	}
+	o.bytesWritten += uint64(n)
+	o.ops++
+	o.media.Unlock(p)
+}
+
+func (o *OSD) read(p *sim.Proc, id objectID, off, n int64) {
+	o.media.Lock(p)
+	p.Sleep(o.params.OSDOpCost)
+	p.Sleep(o.mediaTime(n))
+	o.bytesRead += uint64(n)
+	o.ops++
+	o.media.Unlock(p)
+}
+
+// BytesWritten returns total payload bytes stored on this OSD.
+func (o *OSD) BytesWritten() uint64 { return o.bytesWritten }
+
+// BytesRead returns total payload bytes served by this OSD.
+func (o *OSD) BytesRead() uint64 { return o.bytesRead }
+
+// Ops returns object operations served.
+func (o *OSD) Ops() uint64 { return o.ops }
+
+// Objects returns the number of distinct objects stored.
+func (o *OSD) Objects() int { return len(o.objects) }
+
+// MDSOps returns metadata operations served by the MDS.
+func (c *Cluster) MDSOps() uint64 { return c.mds.ops }
+
+// --- Zero-cost provisioning (experiment setup) ---
+
+// Provision creates path as a file of the given size directly in the
+// namespace and allocates its objects, without consuming virtual time.
+// Experiments use it to pre-populate container images and datasets.
+func (c *Cluster) Provision(path string, size int64) error {
+	if err := c.mds.tree.MkdirAll(parentOf(path), 0); err != nil {
+		return err
+	}
+	n, err := c.mds.tree.Create(path, 0)
+	if err != nil {
+		return err
+	}
+	n.Size = size
+	c.eachObject(0, size, func(objIdx, objOff, seg int64) {
+		id := objectID{n.Ino, objIdx}
+		o := c.osds[c.placement(n.Ino, objIdx)]
+		if end := objOff + seg; end > o.objects[id] {
+			o.objects[id] = end
+		}
+	})
+	return nil
+}
+
+// ProvisionDir creates a directory (and ancestors) without cost.
+func (c *Cluster) ProvisionDir(path string) error {
+	return c.mds.tree.MkdirAll(path, 0)
+}
+
+func parentOf(path string) string {
+	parts := nstree.Split(path)
+	if len(parts) <= 1 {
+		return "/"
+	}
+	out := ""
+	for _, p := range parts[:len(parts)-1] {
+		out += "/" + p
+	}
+	return out
+}
+
+// MDSQueueDelay returns the aggregate wait time observed at the MDS
+// lock, a proxy for metadata-path saturation.
+func (c *Cluster) MDSQueueDelay() time.Duration { return c.mds.cpu.Stats().TotalWait }

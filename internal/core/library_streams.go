@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/vfsapi"
+)
+
+// The §4.1 overloading of the library file table: besides regular
+// files, entries can hold directory streams and pipe endpoints, all
+// sharing the same private descriptor space.
+
+// dirStream is an open directory iterator.
+type dirStream struct {
+	entries []vfsapi.DirEntry
+	pos     int
+}
+
+// pipeState is the shared buffer of a pipe pair (byte counts only, like
+// every data path of the simulation).
+type pipeState struct {
+	buffered int64
+	closed   int // endpoints closed
+}
+
+// OpendirFD opens a directory stream and returns its descriptor.
+func (l *Library) OpendirFD(ctx vfsapi.Ctx, path string) (int, error) {
+	fs, rel, err := l.route(path)
+	if err != nil {
+		return -1, err
+	}
+	ents, err := fs.Readdir(ctx, rel)
+	if err != nil {
+		return -1, err
+	}
+	return l.insert(&libOpenFile{path: path, dir: &dirStream{entries: ents}}), nil
+}
+
+// ReaddirFD returns up to max entries from the stream, advancing it.
+// An empty result means end of directory.
+func (l *Library) ReaddirFD(fd int, max int) ([]vfsapi.DirEntry, error) {
+	of, err := l.file(fd)
+	if err != nil {
+		return nil, err
+	}
+	if of.dir == nil {
+		return nil, vfsapi.ErrNotDir
+	}
+	if max <= 0 {
+		max = len(of.dir.entries)
+	}
+	end := of.dir.pos + max
+	if end > len(of.dir.entries) {
+		end = len(of.dir.entries)
+	}
+	out := of.dir.entries[of.dir.pos:end]
+	of.dir.pos = end
+	return out, nil
+}
+
+// RewinddirFD resets the stream to the first entry.
+func (l *Library) RewinddirFD(fd int) error {
+	of, err := l.file(fd)
+	if err != nil {
+		return err
+	}
+	if of.dir == nil {
+		return vfsapi.ErrNotDir
+	}
+	of.dir.pos = 0
+	return nil
+}
+
+// PipeFD creates a pipe and returns its (read, write) descriptors, both
+// living in the library file table like any open file.
+func (l *Library) PipeFD() (int, int) {
+	state := &pipeState{}
+	r := l.insert(&libOpenFile{pipe: state, pipeRead: true})
+	w := l.insert(&libOpenFile{pipe: state})
+	return r, w
+}
+
+// WritePipeFD buffers n bytes into the pipe.
+func (l *Library) WritePipeFD(fd int, n int64) (int64, error) {
+	of, err := l.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pipe == nil || of.pipeRead {
+		return 0, vfsapi.ErrBadFlags
+	}
+	if of.pipe.closed > 0 {
+		return 0, vfsapi.ErrClosed
+	}
+	of.pipe.buffered += n
+	return n, nil
+}
+
+// ReadPipeFD consumes up to n buffered bytes from the pipe.
+func (l *Library) ReadPipeFD(fd int, n int64) (int64, error) {
+	of, err := l.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pipe == nil || !of.pipeRead {
+		return 0, vfsapi.ErrBadFlags
+	}
+	if n > of.pipe.buffered {
+		n = of.pipe.buffered
+	}
+	of.pipe.buffered -= n
+	return n, nil
+}
+
+// insert places an entry in the file table, recycling free descriptors.
+func (l *Library) insert(of *libOpenFile) int {
+	if n := len(l.freeFDs); n > 0 {
+		fd := l.freeFDs[n-1]
+		l.freeFDs = l.freeFDs[:n-1]
+		l.files[fd] = of
+		return fd
+	}
+	l.files = append(l.files, of)
+	return len(l.files) - 1
+}

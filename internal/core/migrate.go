@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vfsapi"
+)
+
+// MigrateTo moves a container to another pool of the same host — the
+// migration path §9 of the paper sketches: because both the root image
+// and the application data live on the shared network filesystem,
+// migration reduces to quiescing the source client (flushing its dirty
+// state to the backend) and remounting the same branches through a
+// fresh filesystem service in the destination pool. No container state
+// is copied between hosts or pools.
+//
+// The source container is left stopped; the returned container serves
+// the same filesystem tree through the destination pool's reserved
+// resources.
+func (c *Container) MigrateTo(ctx vfsapi.Ctx, dst *Pool) (*Container, error) {
+	if c.stopped {
+		return nil, fmt.Errorf("core: container %s already migrated", c.Name)
+	}
+	if c.spec.SharedClient != nil || c.spec.SharedKernelMount != nil {
+		return nil, fmt.Errorf("core: cannot migrate %s: it shares a client with other containers", c.Name)
+	}
+
+	// Quiesce: push every dirty byte and size to the storage backend so
+	// the destination client sees the current state.
+	if c.Mount.Client != nil {
+		c.Mount.Client.SyncAll(ctx)
+		c.Mount.Client.Stop()
+	}
+	if c.Mount.KernelMount != nil {
+		c.Mount.KernelMount.SyncAll(ctx)
+	}
+	c.stopped = true
+
+	// Remount the same branches in the destination pool.
+	return dst.NewContainer(c.Name, c.spec)
+}
+
+// Stopped reports whether the container has been migrated away.
+func (c *Container) Stopped() bool { return c.stopped }

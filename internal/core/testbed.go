@@ -1,0 +1,128 @@
+// Package core implements the paper's contribution: the Danaus client
+// architecture. It provides the container engine (pools as cgroup
+// cpuset + memory reservations), the per-tenant filesystem services
+// built from union and client libservices behind shared-memory IPC, the
+// dual interface (default user-level path, legacy FUSE path), and the
+// composition of every comparison configuration of Table 1 on a shared
+// testbed of one client host and one Ceph-like cluster.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/disk"
+	"repro/internal/kern"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Testbed is the full experimental environment: the multicore client
+// host (kernel, local disks) and the storage cluster, matching Fig 5.
+type Testbed struct {
+	Eng     *sim.Engine
+	Params  *model.Params
+	CPU     *cpu.CPU
+	Kernel  *kern.Kernel
+	Cluster *cluster.Cluster
+	// LocalArray is the client's 4-disk RAID0 used by the RND and WBS
+	// local workloads.
+	LocalArray *disk.Array
+	// LocalFS is the ext4-like kernel filesystem on the array.
+	LocalFS *kern.Mount
+	// LocalStore is the backing store of LocalFS (for provisioning).
+	LocalStore *kern.LocalStore
+
+	pools []*Pool
+}
+
+// TestbedConfig sizes the testbed.
+type TestbedConfig struct {
+	// Cores activated on the client host (the paper activates twice
+	// the number of running instances, 4-64).
+	Cores int
+	// OSDs in the storage cluster (paper: 6).
+	OSDs int
+	// Params overrides the cost model (nil = calibrated defaults).
+	Params *model.Params
+	// LocalMemBytes bounds the page cache of the local ext4 filesystem.
+	LocalMemBytes int64
+}
+
+// NewTestbed builds the environment of Fig 5.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.OSDs <= 0 {
+		cfg.OSDs = 6
+	}
+	params := cfg.Params
+	if params == nil {
+		params = model.Default()
+	}
+	if cfg.LocalMemBytes <= 0 {
+		cfg.LocalMemBytes = 8 << 30
+	}
+	eng := sim.NewEngine()
+	cpus := cpu.New(eng, params, cfg.Cores)
+	k := kern.New(eng, cpus, params)
+	clus := cluster.New(eng, params, cfg.OSDs)
+	arr := disk.NewArray(eng, "local-raid0", 4, params.DiskSeqBytesPerSec, params.DiskSeekTime, params.DiskStripeUnit)
+	ls := kern.NewLocalStore(eng, arr)
+	localMount := k.Mount(ls, kern.MountConfig{
+		Name:     "ext4",
+		MemLimit: cfg.LocalMemBytes,
+		MaxDirty: cfg.LocalMemBytes / 2,
+	})
+	return &Testbed{
+		Eng:        eng,
+		Params:     params,
+		CPU:        cpus,
+		Kernel:     k,
+		Cluster:    clus,
+		LocalArray: arr,
+		LocalFS:    localMount,
+		LocalStore: ls,
+	}
+}
+
+// NewPool reserves a container pool: a cpuset of cores and a memory
+// budget, with its own resource accounting.
+func (tb *Testbed) NewPool(name string, mask cpu.Mask, memBytes int64) *Pool {
+	p := &Pool{
+		tb:   tb,
+		Name: name,
+		Mask: mask,
+		Mem:  memBytes,
+		Acct: cpu.NewAccount(name),
+	}
+	tb.pools = append(tb.pools, p)
+	return p
+}
+
+// Pools returns the reserved pools.
+func (tb *Testbed) Pools() []*Pool { return tb.pools }
+
+// Stop terminates all background service threads (kernel flushers and
+// every pool's user-level clients) so the engine can drain.
+func (tb *Testbed) Stop() {
+	tb.Kernel.Stop()
+	for _, p := range tb.pools {
+		p.Stop()
+	}
+}
+
+// PoolMasks partitions the first 2*n cores into n pools of 2 cores, the
+// paper's standard reservation for contention experiments.
+func (tb *Testbed) PoolMasks(n int) []cpu.Mask {
+	if 2*n > tb.CPU.NumCores() {
+		panic(fmt.Sprintf("core: %d pools need %d cores, host has %d", n, 2*n, tb.CPU.NumCores()))
+	}
+	masks := make([]cpu.Mask, n)
+	for i := range masks {
+		masks[i] = cpu.MaskRange(2*i, 2*i+2)
+	}
+	return masks
+}

@@ -1,0 +1,214 @@
+// Package cpu models the multicore processor of a host: cores with
+// affinity-constrained FIFO scheduling, quantum-based time sharing,
+// per-core utilization accounting and per-pool attribution.
+//
+// The model captures the two scheduling phenomena the paper builds on:
+// kernel threads with a host-wide affinity mask consume the reserved
+// (idle) cores of other container pools, while Danaus service threads
+// pinned to a pool's cores never leave them.
+package cpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// CPU is a set of simulated cores scheduled with FIFO admission and
+// quantum-sliced round-robin sharing.
+type CPU struct {
+	eng     *sim.Engine
+	params  *model.Params
+	cores   []coreState
+	waiters []*waiter
+	all     Mask
+	groupSz int
+	scanRR  int // rotating scan start spreads load across idle cores
+}
+
+type coreState struct {
+	busy     bool
+	busyTime time.Duration
+}
+
+type waiter struct {
+	p        *sim.Proc
+	th       *Thread
+	assigned int
+}
+
+// New creates a processor with n cores grouped in pairs sharing cache
+// (matching the Opteron 6378 core-pair L2 organization).
+func New(eng *sim.Engine, params *model.Params, n int) *CPU {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("cpu: core count %d out of range", n))
+	}
+	return &CPU{
+		eng:     eng,
+		params:  params,
+		cores:   make([]coreState, n),
+		all:     MaskRange(0, n),
+		groupSz: 2,
+	}
+}
+
+// NumCores returns the number of cores.
+func (c *CPU) NumCores() int { return len(c.cores) }
+
+// AllMask returns a mask of every core on the host.
+func (c *CPU) AllMask() Mask { return c.all }
+
+// GroupOf returns the core-group index (shared-L2 pair) of core id.
+func (c *CPU) GroupOf(core int) int { return core / c.groupSz }
+
+// NumGroups returns the number of core groups.
+func (c *CPU) NumGroups() int { return (len(c.cores) + c.groupSz - 1) / c.groupSz }
+
+// GroupMask returns the mask of cores in group g.
+func (c *CPU) GroupMask(g int) Mask {
+	lo := g * c.groupSz
+	hi := lo + c.groupSz
+	if hi > len(c.cores) {
+		hi = len(c.cores)
+	}
+	return MaskRange(lo, hi) & c.all
+}
+
+// Thread is a schedulable entity bound to an Account and an affinity
+// mask. Threads are sticky: they prefer the core they last ran on.
+type Thread struct {
+	cpu      *CPU
+	acct     *Account
+	mask     Mask
+	lastCore int
+}
+
+// NewThread creates a thread with the given affinity. A zero mask means
+// the thread may run anywhere on the host.
+func (c *CPU) NewThread(acct *Account, mask Mask) *Thread {
+	if mask == 0 {
+		mask = c.all
+	}
+	return &Thread{cpu: c, acct: acct, mask: mask & c.all, lastCore: -1}
+}
+
+// SetAffinity repins the thread to mask (e.g. the front driver pinning
+// an application thread to the cores of its first request queue).
+func (t *Thread) SetAffinity(mask Mask) {
+	if mask != 0 {
+		t.mask = mask & t.cpu.all
+	}
+}
+
+// Affinity returns the current affinity mask.
+func (t *Thread) Affinity() Mask { return t.mask }
+
+// LastCore returns the core the thread most recently ran on, or -1.
+func (t *Thread) LastCore() int { return t.lastCore }
+
+// Account returns the thread's accounting target.
+func (t *Thread) Account() *Account { return t.acct }
+
+// Exec consumes d of CPU time of kind k on a core within the thread's
+// affinity mask, waiting FIFO for a core when all are busy and yielding
+// the core every scheduler quantum.
+func (t *Thread) Exec(p *sim.Proc, k TimeKind, d time.Duration) {
+	c := t.cpu
+	for d > 0 {
+		core := c.acquire(p, t)
+		slice := c.params.Quantum
+		if d < slice {
+			slice = d
+		}
+		p.Sleep(slice)
+		c.cores[core].busyTime += slice
+		t.acct.addTime(k, slice)
+		t.lastCore = core
+		c.release(core)
+		d -= slice
+	}
+}
+
+// ExecBytes consumes CPU time equivalent to processing n bytes at the
+// given single-core rate.
+func (t *Thread) ExecBytes(p *sim.Proc, k TimeKind, n, bytesPerSec int64) {
+	t.Exec(p, k, model.RateTime(n, bytesPerSec))
+}
+
+// ModeSwitch charges one user/kernel crossing to the thread.
+func (t *Thread) ModeSwitch(p *sim.Proc) {
+	t.acct.modeSwitches++
+	t.Exec(p, Kernel, t.cpu.params.ModeSwitchCost)
+}
+
+// ContextSwitch charges one thread switch to the thread's account.
+func (t *Thread) ContextSwitch(p *sim.Proc) {
+	t.acct.contextSwitches++
+	t.Exec(p, Kernel, t.cpu.params.ContextSwitchCost)
+}
+
+// acquire obtains an idle core in the thread's mask, parking FIFO when
+// none is available. Released cores are handed directly to the oldest
+// compatible waiter, so admission order is preserved.
+func (c *CPU) acquire(p *sim.Proc, t *Thread) int {
+	// Fast path: sticky core, then a rotating scan so unpinned threads
+	// (e.g. kernel flushers) spread across every idle core of the host
+	// instead of clustering on the lowest-numbered ones.
+	if t.lastCore >= 0 && t.mask.Has(t.lastCore) && !c.cores[t.lastCore].busy {
+		c.cores[t.lastCore].busy = true
+		return t.lastCore
+	}
+	eligible := t.mask.Cores()
+	if len(eligible) > 0 {
+		start := c.scanRR % len(eligible)
+		c.scanRR++
+		for i := 0; i < len(eligible); i++ {
+			core := eligible[(start+i)%len(eligible)]
+			if !c.cores[core].busy {
+				c.cores[core].busy = true
+				return core
+			}
+		}
+	}
+	w := &waiter{p: p, th: t, assigned: -1}
+	c.waiters = append(c.waiters, w)
+	p.Park()
+	return w.assigned
+}
+
+func (c *CPU) release(core int) {
+	for i, w := range c.waiters {
+		if w.th.mask.Has(core) {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			w.assigned = core // core stays busy: direct handoff
+			c.eng.ScheduleWake(w.p)
+			return
+		}
+	}
+	c.cores[core].busy = false
+}
+
+// UtilSnapshot captures each core's cumulative busy time.
+func (c *CPU) UtilSnapshot() []time.Duration {
+	out := make([]time.Duration, len(c.cores))
+	for i := range c.cores {
+		out[i] = c.cores[i].busyTime
+	}
+	return out
+}
+
+// Utilization returns the summed utilization of the cores in mask over
+// the window since the given snapshot, as a fraction of ONE core (so a
+// fully busy 2-core mask reports 2.0, rendered as 200%).
+func (c *CPU) Utilization(mask Mask, since []time.Duration, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, core := range mask.Cores() {
+		busy += c.cores[core].busyTime - since[core]
+	}
+	return float64(busy) / float64(window)
+}

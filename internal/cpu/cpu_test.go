@@ -1,0 +1,332 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func newTestCPU(t *testing.T, cores int) (*sim.Engine, *CPU) {
+	t.Helper()
+	e := sim.NewEngine()
+	return e, New(e, model.Default(), cores)
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := MaskOf(0, 3, 5)
+	if !m.Has(0) || !m.Has(3) || !m.Has(5) || m.Has(1) {
+		t.Fatalf("membership wrong for %v", m)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+	r := MaskRange(2, 6)
+	if got := r.Cores(); len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Fatalf("MaskRange cores = %v", got)
+	}
+	if u := m.Union(r); u.Count() != 5 {
+		t.Fatalf("union count = %d, want 5 for {0,3,5}∪{2..5}", u.Count())
+	}
+	if s := MaskOf(1, 2).String(); s != "{1,2}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestExecConsumesVirtualTimeOnOneCore(t *testing.T) {
+	e, c := newTestCPU(t, 2)
+	acct := NewAccount("a")
+	var end time.Duration
+	e.Go("w", func(p *sim.Proc) {
+		th := c.NewThread(acct, 0)
+		th.Exec(p, User, 10*time.Millisecond)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 10*time.Millisecond {
+		t.Fatalf("uncontended exec finished at %v, want 10ms", end)
+	}
+	if acct.Time(User) != 10*time.Millisecond {
+		t.Fatalf("account user time = %v", acct.Time(User))
+	}
+}
+
+func TestExecTimeSharingIsFair(t *testing.T) {
+	// Two CPU-bound threads on one core should each take ~2x wall time.
+	e, c := newTestCPU(t, 1)
+	acct := NewAccount("a")
+	done := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("w", func(p *sim.Proc) {
+			th := c.NewThread(acct, MaskOf(0))
+			th.Exec(p, User, 50*time.Millisecond)
+			done[i] = p.Now()
+		})
+	}
+	e.Run()
+	for i, d := range done {
+		if d < 99*time.Millisecond || d > 101*time.Millisecond {
+			t.Fatalf("thread %d finished at %v, want ~100ms (fair sharing)", i, d)
+		}
+	}
+}
+
+func TestAffinityRestrictsCores(t *testing.T) {
+	e, c := newTestCPU(t, 4)
+	acct := NewAccount("a")
+	e.Go("w", func(p *sim.Proc) {
+		th := c.NewThread(acct, MaskOf(2))
+		th.Exec(p, User, 20*time.Millisecond)
+	})
+	e.Run()
+	util := c.UtilSnapshot()
+	for core, busy := range util {
+		if core == 2 && busy != 20*time.Millisecond {
+			t.Fatalf("core 2 busy %v, want 20ms", busy)
+		}
+		if core != 2 && busy != 0 {
+			t.Fatalf("core %d busy %v, want 0 (affinity violated)", core, busy)
+		}
+	}
+}
+
+func TestKernelThreadsStealIdleReservedCores(t *testing.T) {
+	// The Fig 1a mechanism: a host-wide kernel thread spreads onto the
+	// idle reserved cores of another pool; once that pool becomes busy,
+	// the kernel thread's share of those cores collapses.
+	e, c := newTestCPU(t, 4)
+	kern := NewAccount("kernel")
+	poolB := MaskOf(2, 3)
+
+	// Two roaming kernel threads, each wanting 100ms of CPU.
+	for i := 0; i < 4; i++ {
+		e.Go("kflush", func(p *sim.Proc) {
+			th := c.NewThread(kern, c.AllMask())
+			th.Exec(p, Kernel, 100*time.Millisecond)
+		})
+	}
+	start := c.UtilSnapshot()
+	e.Run()
+	window := e.Now()
+	if got := c.Utilization(poolB, start, window); got < 1.9 {
+		t.Fatalf("idle pool cores utilization = %.2f, want ~2.0 (kernel steals them)", got)
+	}
+
+	// Re-run with pool B busy: kernel threads must share, so pool B's
+	// own work gets at least half of its cores.
+	e2 := sim.NewEngine()
+	c2 := New(e2, model.Default(), 4)
+	kern2 := NewAccount("kernel")
+	bAcct := NewAccount("poolB")
+	for i := 0; i < 4; i++ {
+		e2.Go("kflush", func(p *sim.Proc) {
+			th := c2.NewThread(kern2, c2.AllMask())
+			th.Exec(p, Kernel, 100*time.Millisecond)
+		})
+	}
+	for i := 0; i < 2; i++ {
+		e2.Go("bwork", func(p *sim.Proc) {
+			th := c2.NewThread(bAcct, poolB)
+			th.Exec(p, User, 100*time.Millisecond)
+		})
+	}
+	e2.Run()
+	if bAcct.Time(User) != 200*time.Millisecond {
+		t.Fatalf("pool B user time = %v, want 200ms", bAcct.Time(User))
+	}
+}
+
+func TestPinnedThreadsNeverLeaveTheirPool(t *testing.T) {
+	e, c := newTestCPU(t, 4)
+	acct := NewAccount("danaus")
+	pool := MaskOf(0, 1)
+	for i := 0; i < 3; i++ {
+		e.Go("svc", func(p *sim.Proc) {
+			th := c.NewThread(acct, pool)
+			th.Exec(p, User, 30*time.Millisecond)
+		})
+	}
+	e.Run()
+	util := c.UtilSnapshot()
+	if util[2] != 0 || util[3] != 0 {
+		t.Fatalf("pinned threads leaked onto foreign cores: %v", util)
+	}
+	if util[0]+util[1] != 90*time.Millisecond {
+		t.Fatalf("pool cores busy %v, want total 90ms", util[:2])
+	}
+}
+
+func TestFIFOAdmissionUnderContention(t *testing.T) {
+	e, c := newTestCPU(t, 1)
+	acct := NewAccount("a")
+	var order []int
+	// Occupy the core, then queue three arrivals in a known order.
+	e.Go("hog", func(p *sim.Proc) {
+		th := c.NewThread(acct, 0)
+		th.Exec(p, User, 10*time.Millisecond)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Microsecond)
+			th := c.NewThread(acct, 0)
+			th.Exec(p, User, time.Microsecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestModeAndContextSwitchAccounting(t *testing.T) {
+	e, c := newTestCPU(t, 1)
+	acct := NewAccount("a")
+	e.Go("w", func(p *sim.Proc) {
+		th := c.NewThread(acct, 0)
+		th.ModeSwitch(p)
+		th.ModeSwitch(p)
+		th.ContextSwitch(p)
+	})
+	e.Run()
+	if acct.ModeSwitches() != 2 {
+		t.Fatalf("mode switches = %d, want 2", acct.ModeSwitches())
+	}
+	if acct.ContextSwitches() != 1 {
+		t.Fatalf("context switches = %d, want 1", acct.ContextSwitches())
+	}
+	wantKernel := 2*model.Default().ModeSwitchCost + model.Default().ContextSwitchCost
+	if acct.Time(Kernel) != wantKernel {
+		t.Fatalf("kernel time = %v, want %v", acct.Time(Kernel), wantKernel)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	a := NewAccount("a")
+	a.addTime(User, time.Second)
+	a.AddIOWait(time.Millisecond)
+	s1 := a.Snapshot()
+	a.addTime(Kernel, 2*time.Second)
+	a.AddIOWait(time.Millisecond)
+	d := a.Snapshot().Sub(s1)
+	if d.UserTime != 0 || d.KernelTime != 2*time.Second || d.IOWait != time.Millisecond {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.CPUTime != 2*time.Second {
+		t.Fatalf("delta CPU = %v", d.CPUTime)
+	}
+}
+
+func TestUtilizationWindow(t *testing.T) {
+	e, c := newTestCPU(t, 2)
+	acct := NewAccount("a")
+	e.Go("w", func(p *sim.Proc) {
+		th := c.NewThread(acct, MaskOf(0))
+		th.Exec(p, User, 40*time.Millisecond)
+	})
+	start := c.UtilSnapshot()
+	e.RunUntil(80 * time.Millisecond)
+	got := c.Utilization(MaskOf(0, 1), start, 80*time.Millisecond)
+	if got < 0.49 || got > 0.51 {
+		t.Fatalf("utilization = %.3f, want ~0.5 (40ms busy over 80ms on 1 of 2 cores)", got)
+	}
+}
+
+func TestStickyCorePreference(t *testing.T) {
+	e, c := newTestCPU(t, 4)
+	acct := NewAccount("a")
+	e.Go("w", func(p *sim.Proc) {
+		th := c.NewThread(acct, 0)
+		th.Exec(p, User, time.Millisecond)
+		first := th.LastCore()
+		th.Exec(p, User, time.Millisecond)
+		if th.LastCore() != first {
+			t.Errorf("thread migrated from idle sticky core %d to %d", first, th.LastCore())
+		}
+	})
+	e.Run()
+}
+
+func TestGroupMask(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e, model.Default(), 6)
+	if c.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", c.NumGroups())
+	}
+	if g := c.GroupMask(1); g != MaskOf(2, 3) {
+		t.Fatalf("GroupMask(1) = %v", g)
+	}
+	if c.GroupOf(5) != 2 {
+		t.Fatalf("GroupOf(5) = %d", c.GroupOf(5))
+	}
+}
+
+// TestRoundRobinFairnessProperty: N equal CPU-bound threads on one core
+// finish within one quantum of each other, for random N.
+func TestRoundRobinFairnessProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		e := sim.NewEngine()
+		c := New(e, model.Default(), 1)
+		acct := NewAccount("a")
+		done := make([]time.Duration, n)
+		for i := 0; i < n; i++ {
+			i := i
+			e.Go("w", func(p *sim.Proc) {
+				th := c.NewThread(acct, MaskOf(0))
+				th.Exec(p, User, 20*time.Millisecond)
+				done[i] = p.Now()
+			})
+		}
+		e.Run()
+		var min, max time.Duration = 1 << 62, 0
+		for _, d := range done {
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		// Round-robin staggers the final slices by at most one quantum
+		// per contender.
+		if max-min > time.Duration(n)*model.Default().Quantum {
+			t.Fatalf("n=%d unfair finish spread: min=%v max=%v", n, min, max)
+		}
+		want := time.Duration(n) * 20 * time.Millisecond
+		if max != want {
+			t.Fatalf("n=%d total runtime %v, want %v (work conservation)", n, max, want)
+		}
+	}
+}
+
+// TestWorkConservation: total busy time equals total demanded CPU.
+func TestWorkConservation(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e, model.Default(), 3)
+	acct := NewAccount("a")
+	var demand time.Duration
+	for i := 0; i < 7; i++ {
+		d := time.Duration(i+1) * 3 * time.Millisecond
+		demand += d
+		e.Go("w", func(p *sim.Proc) {
+			th := c.NewThread(acct, 0)
+			th.Exec(p, User, d)
+		})
+	}
+	e.Run()
+	var busy time.Duration
+	for _, b := range c.UtilSnapshot() {
+		busy += b
+	}
+	if busy != demand {
+		t.Fatalf("busy %v != demand %v", busy, demand)
+	}
+	if acct.CPUTime() != demand {
+		t.Fatalf("account %v != demand %v", acct.CPUTime(), demand)
+	}
+}

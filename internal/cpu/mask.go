@@ -1,0 +1,63 @@
+package cpu
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Mask is a set of core IDs (up to 64 cores per host, matching the
+// paper's 64-core client machine).
+type Mask uint64
+
+// MaskOf returns a mask containing exactly the given cores.
+func MaskOf(cores ...int) Mask {
+	var m Mask
+	for _, c := range cores {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// MaskRange returns a mask of cores [lo, hi).
+func MaskRange(lo, hi int) Mask {
+	var m Mask
+	for c := lo; c < hi; c++ {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Has reports whether core c is in the mask.
+func (m Mask) Has(c int) bool { return m&(1<<uint(c)) != 0 }
+
+// Count returns the number of cores in the mask.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Union returns the union of two masks.
+func (m Mask) Union(o Mask) Mask { return m | o }
+
+// Cores returns the core IDs in the mask in ascending order.
+func (m Mask) Cores() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		c := bits.TrailingZeros64(v)
+		out = append(out, c)
+		v &^= 1 << uint(c)
+	}
+	return out
+}
+
+// String renders the mask as a compact core list.
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, c := range m.Cores() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

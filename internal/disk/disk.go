@@ -1,0 +1,110 @@
+// Package disk models rotating local disks and RAID0 arrays: sequential
+// transfers run at media rate, non-contiguous accesses pay a seek, and
+// requests serialize per spindle.
+package disk
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Disk is a single spindle.
+type Disk struct {
+	eng    *sim.Engine
+	name   string
+	seqBps int64
+	seek   time.Duration
+	mu     *sim.Mutex
+	head   int64 // next contiguous position
+
+	bytesRead    uint64
+	bytesWritten uint64
+	seeks        uint64
+}
+
+// NewDisk creates a disk with the given sequential rate and seek time.
+func NewDisk(eng *sim.Engine, name string, seqBytesPerSec int64, seek time.Duration) *Disk {
+	return &Disk{
+		eng:    eng,
+		name:   name,
+		seqBps: seqBytesPerSec,
+		seek:   seek,
+		mu:     sim.NewMutex(eng, name+".chan"),
+		head:   -1,
+	}
+}
+
+// Access performs one I/O of n bytes at offset off, blocking the caller
+// for queueing, any seek, and the media transfer.
+func (d *Disk) Access(p *sim.Proc, off, n int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock(p)
+	if d.head != off {
+		p.Sleep(d.seek)
+		d.seeks++
+	}
+	p.Sleep(model.RateTime(n, d.seqBps))
+	d.head = off + n
+	if write {
+		d.bytesWritten += uint64(n)
+	} else {
+		d.bytesRead += uint64(n)
+	}
+	d.mu.Unlock(p)
+}
+
+// Seeks returns the number of seeks performed.
+func (d *Disk) Seeks() uint64 { return d.seeks }
+
+// BytesRead returns total bytes read from media.
+func (d *Disk) BytesRead() uint64 { return d.bytesRead }
+
+// BytesWritten returns total bytes written to media.
+func (d *Disk) BytesWritten() uint64 { return d.bytesWritten }
+
+// Array is a RAID0 stripe set over several disks. The paper's client
+// stores RND and WBS datasets on ext4 over four local disks in RAID0.
+type Array struct {
+	disks  []*Disk
+	stripe int64
+}
+
+// NewArray builds a RAID0 array of n identical disks.
+func NewArray(eng *sim.Engine, name string, n int, seqBytesPerSec int64, seek time.Duration, stripe int64) *Array {
+	if n <= 0 {
+		panic("disk: array needs at least one disk")
+	}
+	if stripe <= 0 {
+		stripe = 256 << 10
+	}
+	a := &Array{stripe: stripe}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, NewDisk(eng, name, seqBytesPerSec, seek))
+	}
+	return a
+}
+
+// Disks returns the member spindles.
+func (a *Array) Disks() []*Disk { return a.disks }
+
+// Access performs one logical I/O spanning [off, off+n), split into
+// per-stripe-unit segments routed to the owning spindles.
+func (a *Array) Access(p *sim.Proc, off, n int64, write bool) {
+	for n > 0 {
+		unitEnd := (off/a.stripe + 1) * a.stripe
+		seg := unitEnd - off
+		if n < seg {
+			seg = n
+		}
+		d := a.disks[(off/a.stripe)%int64(len(a.disks))]
+		// Per-disk offsets preserve contiguity of logically sequential
+		// streams: stripe k of a file lands after stripe k-len(disks).
+		d.Access(p, off/int64(len(a.disks)), seg, write)
+		off += seg
+		n -= seg
+	}
+}

@@ -1,0 +1,132 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSequentialAccessAvoidsSeeks(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", 100<<20, 4*time.Millisecond)
+	e.Go("w", func(p *sim.Proc) {
+		for off := int64(0); off < 10<<20; off += 1 << 20 {
+			d.Access(p, off, 1<<20, true)
+		}
+	})
+	e.Run()
+	if d.Seeks() != 1 {
+		t.Fatalf("sequential stream caused %d seeks, want 1 (initial)", d.Seeks())
+	}
+	if d.BytesWritten() != 10<<20 {
+		t.Fatalf("bytes written = %d", d.BytesWritten())
+	}
+	// 10 MB at 100 MB/s = 100ms + one 4ms seek.
+	want := 100*time.Millisecond + 4*time.Millisecond
+	if e.Now() != want {
+		t.Fatalf("elapsed %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRandomAccessPaysSeeks(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", 100<<20, 4*time.Millisecond)
+	e.Go("r", func(p *sim.Proc) {
+		offsets := []int64{0, 50 << 20, 10 << 20, 90 << 20}
+		for _, off := range offsets {
+			d.Access(p, off, 4096, false)
+		}
+	})
+	e.Run()
+	if d.Seeks() != 4 {
+		t.Fatalf("random accesses caused %d seeks, want 4", d.Seeks())
+	}
+}
+
+func TestDiskSerializesRequests(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", 100<<20, 0)
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			d.Access(p, 0, 25<<20, false)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	// 4 × 25 MB at 100 MB/s must serialize to 1s.
+	if last != time.Second {
+		t.Fatalf("last access at %v, want 1s", last)
+	}
+}
+
+func TestArrayStripesAcrossDisks(t *testing.T) {
+	e := sim.NewEngine()
+	a := NewArray(e, "raid0", 4, 100<<20, 0, 256<<10)
+	e.Go("w", func(p *sim.Proc) {
+		a.Access(p, 0, 4<<20, true) // 16 stripe units over 4 disks
+	})
+	e.Run()
+	for i, d := range a.Disks() {
+		if d.BytesWritten() != 1<<20 {
+			t.Fatalf("disk %d got %d bytes, want 1MB (even striping)", i, d.BytesWritten())
+		}
+	}
+}
+
+func TestArrayParallelStreamsUseAllSpindles(t *testing.T) {
+	e := sim.NewEngine()
+	a := NewArray(e, "raid0", 4, 100<<20, 0, 256<<10)
+	var last time.Duration
+	// Four threads each write 25 MB to disjoint regions: aggregate
+	// 100 MB over 4×100 MB/s should take well under the 1s a single
+	// spindle would need.
+	for i := 0; i < 4; i++ {
+		base := int64(i) * (256 << 20)
+		e.Go("w", func(p *sim.Proc) {
+			a.Access(p, base, 25<<20, true)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	if last >= time.Second {
+		t.Fatalf("parallel streams took %v; no spindle parallelism", last)
+	}
+}
+
+func TestArraySequentialStreamStaysContiguousPerSpindle(t *testing.T) {
+	// A logically sequential stream should cost ~one seek per spindle,
+	// not one per stripe unit.
+	e := sim.NewEngine()
+	a := NewArray(e, "raid0", 4, 100<<20, 4*time.Millisecond, 256<<10)
+	e.Go("w", func(p *sim.Proc) {
+		for off := int64(0); off < 16<<20; off += 1 << 20 {
+			a.Access(p, off, 1<<20, true)
+		}
+	})
+	e.Run()
+	var seeks uint64
+	for _, d := range a.Disks() {
+		seeks += d.Seeks()
+	}
+	if seeks != 4 {
+		t.Fatalf("sequential stream caused %d seeks, want 4 (one per spindle)", seeks)
+	}
+}
+
+func TestZeroLengthAccessIsFree(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", 100<<20, 4*time.Millisecond)
+	e.Go("r", func(p *sim.Proc) {
+		d.Access(p, 0, 0, false)
+	})
+	e.Run()
+	if e.Now() != 0 || d.Seeks() != 0 {
+		t.Fatalf("zero access consumed time: %v, %d seeks", e.Now(), d.Seeks())
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// ScaleoutRow is one point of the Fig 9 / Fig 10 scaleout curves.
+type ScaleoutRow struct {
+	Config core.Configuration
+	Pools  int
+	// ThroughputMBps is the aggregate throughput across all pools.
+	ThroughputMBps float64
+	// UserPct/KernelPct are mean per-pool core utilization percentages
+	// (of the pools' own reserved cores).
+	UserPct   float64
+	KernelPct float64
+	// IOWait is total time application threads spent blocked in kernel
+	// I/O paths (the paper's iowait bars).
+	IOWait time.Duration
+}
+
+// RunSeqIOScaleout executes one Fig 9 point: `pools` container pools,
+// each with a private client of the given configuration, running
+// Seqwrite (write=true) or cached Seqread (write=false).
+func RunSeqIOScaleout(config core.Configuration, pools int, write bool, scale Scale) ScaleoutRow {
+	r := newScaledRig(2*pools, scale)
+	row := ScaleoutRow{Config: config, Pools: pools}
+
+	type inst struct {
+		pool *core.Pool
+		c    *core.Container
+		w    *workloads.SeqIO
+	}
+	insts := make([]inst, pools)
+	for i := range insts {
+		pool, cont, err := r.flsContainer(i, config, scale)
+		if err != nil {
+			panic(err)
+		}
+		w := &workloads.SeqIO{
+			FS:        cont.Mount.Default,
+			Dir:       "/seq",
+			Write:     write,
+			NewThread: cont.NewThread,
+		}
+		w.Defaults(scale.Factor)
+		insts[i] = inst{pool: pool, c: cont, w: w}
+	}
+
+	r.runMaster(func(p *sim.Proc) {
+		preps := make([]func(pp *sim.Proc), len(insts))
+		for i, in := range insts {
+			in := in
+			preps[i] = func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: in.c.NewThread()}
+				if err := in.w.Prepare(ctx); err != nil {
+					panic(err)
+				}
+			}
+		}
+		prepare(p, r.tb.Eng, preps...)
+
+		clock := clockFor(r.tb.Eng, scale)
+		var userStart, kernStart, iowaitStart time.Duration
+		r.tb.Eng.After(clock.From-r.tb.Eng.Now(), func() {
+			for _, in := range insts {
+				s := in.pool.Acct.Snapshot()
+				userStart += s.UserTime
+				kernStart += s.KernelTime
+				iowaitStart += s.IOWait
+			}
+		})
+
+		g := workloads.NewGroup(r.tb.Eng)
+		for _, in := range insts {
+			in.w.Run(g, clock)
+		}
+		g.Wait(p)
+
+		var user, kern, iowait time.Duration
+		for _, in := range insts {
+			s := in.pool.Acct.Snapshot()
+			user += s.UserTime
+			kern += s.KernelTime
+			iowait += s.IOWait
+		}
+		window := clock.Window()
+		totalCores := float64(2 * pools)
+		row.UserPct = float64(user-userStart) / float64(window) / totalCores * 100
+		row.KernelPct = float64(kern-kernStart) / float64(window) / totalCores * 100
+		row.IOWait = iowait - iowaitStart
+		for _, in := range insts {
+			row.ThroughputMBps += in.w.Stats.ThroughputMBps(window)
+		}
+	})
+	return row
+}
+
+// RunFileserverScaleout executes one Fig 10 point: `pools` pools each
+// running a Fileserver instance over a private client.
+func RunFileserverScaleout(config core.Configuration, pools int, scale Scale) ScaleoutRow {
+	r := newScaledRig(2*pools, scale)
+	row := ScaleoutRow{Config: config, Pools: pools}
+
+	type inst struct {
+		pool *core.Pool
+		c    *core.Container
+		w    *workloads.Fileserver
+	}
+	insts := make([]inst, pools)
+	for i := range insts {
+		pool, cont, err := r.flsContainer(i, config, scale)
+		if err != nil {
+			panic(err)
+		}
+		insts[i] = inst{pool: pool, c: cont, w: newFileserver(cont, scale, int64(i)+1)}
+	}
+
+	r.runMaster(func(p *sim.Proc) {
+		preps := make([]func(pp *sim.Proc), len(insts))
+		for i, in := range insts {
+			in := in
+			preps[i] = func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: in.c.NewThread()}
+				if err := in.w.Prepare(ctx); err != nil {
+					panic(err)
+				}
+			}
+		}
+		prepare(p, r.tb.Eng, preps...)
+
+		clock := clockFor(r.tb.Eng, scale)
+		var userStart, kernStart, iowaitStart time.Duration
+		r.tb.Eng.After(clock.From-r.tb.Eng.Now(), func() {
+			for _, in := range insts {
+				s := in.pool.Acct.Snapshot()
+				userStart += s.UserTime
+				kernStart += s.KernelTime
+				iowaitStart += s.IOWait
+			}
+		})
+
+		g := workloads.NewGroup(r.tb.Eng)
+		for _, in := range insts {
+			in.w.Run(g, clock)
+		}
+		g.Wait(p)
+
+		var user, kern, iowait time.Duration
+		for _, in := range insts {
+			s := in.pool.Acct.Snapshot()
+			user += s.UserTime
+			kern += s.KernelTime
+			iowait += s.IOWait
+		}
+		window := clock.Window()
+		totalCores := float64(2 * pools)
+		row.UserPct = float64(user-userStart) / float64(window) / totalCores * 100
+		row.KernelPct = float64(kern-kernStart) / float64(window) / totalCores * 100
+		row.IOWait = iowait - iowaitStart
+		for _, in := range insts {
+			row.ThroughputMBps += in.w.Stats.ThroughputMBps(window)
+		}
+	})
+	return row
+}
+
+// Fig9PoolCounts returns the paper's pool sweep for Fig 9.
+func Fig9PoolCounts() []int { return []int{1, 2, 4, 8, 16, 32} }
+
+// Fig10PoolCounts returns the paper's pool sweep for Fig 10.
+func Fig10PoolCounts() []int { return []int{1, 2, 4, 8, 16} }
+
+// String renders a row for the harness.
+func (r ScaleoutRow) String() string {
+	return fmt.Sprintf("%-4s pools=%-3d %9.1f MB/s  user %5.1f%% kernel %5.1f%%  iowait %v",
+		r.Config, r.Pools, r.ThroughputMBps, r.UserPct, r.KernelPct, r.IOWait)
+}

@@ -1,0 +1,225 @@
+package fusefs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	cpus *cpu.CPU
+	mem  *memfs.FS
+	t    *Transport
+	acct *cpu.Account
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	mem := memfs.New()
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "fuse", Acct: acct})
+	return &rig{eng: eng, cpus: cpus, mem: mem, t: tr, acct: acct}
+}
+
+func (r *rig) run(t *testing.T, fn func(ctx vfsapi.Ctx)) {
+	t.Helper()
+	r.eng.Go("app", func(p *sim.Proc) {
+		fn(vfsapi.Ctx{P: p, T: r.cpus.NewThread(r.acct, 0)})
+	})
+	r.eng.Run()
+}
+
+func TestCrossingCountsSwitches(t *testing.T) {
+	r := newRig(t)
+	r.mem.Provision("/f", 100)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if _, err := r.t.Stat(ctx, "/f"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One crossing: 2 context switches (to daemon and back).
+	if got := r.acct.ContextSwitches(); got != 2 {
+		t.Fatalf("context switches = %d, want 2", got)
+	}
+	// App in/out + daemon in/out = 4 mode switches.
+	if got := r.acct.ModeSwitches(); got != 4 {
+		t.Fatalf("mode switches = %d, want 4", got)
+	}
+}
+
+func TestLargeIOSplitsAtRequestSize(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.t.Open(ctx, "/big", vfsapi.CREATE|vfsapi.WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := r.acct.ContextSwitches()
+		if got, _ := h.Write(ctx, 0, 1<<20); got != 1<<20 {
+			t.Fatalf("wrote %d", got)
+		}
+		// 1 MB at 128 KB per request = 8 crossings = 16 switches.
+		if d := r.acct.ContextSwitches() - base; d != 16 {
+			t.Fatalf("context switches for 1MB write = %d, want 16", d)
+		}
+		h.Close(ctx)
+	})
+}
+
+func TestReadStopsAtEOF(t *testing.T) {
+	r := newRig(t)
+	r.mem.Provision("/small", 200<<10) // 200 KB: less than 2 full requests
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.t.Open(ctx, "/small", vfsapi.RDONLY)
+		got, err := h.Read(ctx, 0, 1<<20)
+		if err != nil || got != 200<<10 {
+			t.Fatalf("read %d err=%v", got, err)
+		}
+		h.Close(ctx)
+	})
+}
+
+func TestErrorsPropagateThroughTransport(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if _, err := r.t.Open(ctx, "/missing", vfsapi.RDONLY); err != vfsapi.ErrNotExist {
+			t.Fatalf("open: %v", err)
+		}
+		if err := r.t.Unlink(ctx, "/missing"); err != vfsapi.ErrNotExist {
+			t.Fatalf("unlink: %v", err)
+		}
+	})
+}
+
+func TestStackedTransportsMultiplySwitches(t *testing.T) {
+	// unionfs-fuse over ceph-fuse (F/F) doubles every crossing.
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	mem := memfs.New()
+	mem.Provision("/f", 100)
+	acct := cpu.NewAccount("pool")
+	innerT := New(eng, cpus, params, mem, Config{Name: "ceph-fuse", Acct: acct})
+	outerT := New(eng, cpus, params, innerT, Config{Name: "unionfs-fuse", Acct: acct})
+	eng.Go("app", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, 0)}
+		outerT.Stat(ctx, "/f")
+	})
+	eng.Run()
+	if got := acct.ContextSwitches(); got != 4 {
+		t.Fatalf("stacked context switches = %d, want 4", got)
+	}
+}
+
+func TestMetadataOpsThroughDaemon(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.t.Mkdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := r.t.Open(ctx, "/d/f", vfsapi.CREATE|vfsapi.WRONLY)
+		h.Close(ctx)
+		ents, err := r.t.Readdir(ctx, "/d")
+		if err != nil || len(ents) != 1 {
+			t.Fatalf("readdir: %v %v", ents, err)
+		}
+		if err := r.t.Rename(ctx, "/d/f", "/d/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.t.Unlink(ctx, "/d/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.t.Rmdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDaemonThreadsRespectMask(t *testing.T) {
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	mem := memfs.New()
+	mem.Provision("/f", 10<<20)
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "fuse", Acct: acct, Mask: cpu.MaskOf(0, 1)})
+	eng.Go("app", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, cpu.MaskOf(0, 1))}
+		h, _ := tr.Open(ctx, "/f", vfsapi.RDONLY)
+		h.Read(ctx, 0, 10<<20)
+		h.Close(ctx)
+	})
+	eng.Run()
+	util := cpus.UtilSnapshot()
+	if util[2] != 0 || util[3] != 0 {
+		t.Fatalf("daemon leaked onto foreign cores: %v", util)
+	}
+}
+
+func TestDaemonThreadPoolGatesConcurrency(t *testing.T) {
+	// With a 1-thread daemon and a slow inner filesystem, concurrent
+	// requests serialize in the FUSE queue.
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 8)
+	mem := memfs.New()
+	mem.OpDelay = 10 * time.Millisecond
+	mem.Provision("/f", 1<<20)
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "fuse", Acct: acct, Threads: 1})
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		eng.Go("app", func(p *sim.Proc) {
+			ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, 0)}
+			h, _ := tr.Open(ctx, "/f", vfsapi.RDONLY)
+			h.Read(ctx, 0, 1024)
+			h.Close(ctx)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	// 4 slow reads at 10ms each through one daemon thread serialize to
+	// at least 40ms.
+	if last < 40*time.Millisecond {
+		t.Fatalf("single-thread daemon did not serialize: done at %v", last)
+	}
+
+	// The same load over an 8-thread daemon overlaps.
+	eng2 := sim.NewEngine()
+	cpus2 := cpu.New(eng2, params, 8)
+	mem2 := memfs.New()
+	mem2.OpDelay = 10 * time.Millisecond
+	mem2.Provision("/f", 1<<20)
+	acct2 := cpu.NewAccount("pool")
+	tr2 := New(eng2, cpus2, params, mem2, Config{Name: "fuse", Acct: acct2, Threads: 8})
+	var last2 time.Duration
+	for i := 0; i < 4; i++ {
+		eng2.Go("app", func(p *sim.Proc) {
+			ctx := vfsapi.Ctx{P: p, T: cpus2.NewThread(acct2, 0)}
+			h, _ := tr2.Open(ctx, "/f", vfsapi.RDONLY)
+			h.Read(ctx, 0, 1024)
+			h.Close(ctx)
+			if p.Now() > last2 {
+				last2 = p.Now()
+			}
+		})
+	}
+	eng2.Run()
+	if last2 >= last/2 {
+		t.Fatalf("wide daemon pool did not overlap: %v vs %v", last2, last)
+	}
+	if last2 < 10*time.Millisecond {
+		t.Fatalf("even overlapped reads cost one service time: %v", last2)
+	}
+}

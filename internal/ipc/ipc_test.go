@@ -1,0 +1,249 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	cpus *cpu.CPU
+	mem  *memfs.FS
+	tr   *Transport
+	acct *cpu.Account
+}
+
+func newRig(t *testing.T, mask cpu.Mask) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 8)
+	mem := memfs.New()
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "svc", Mask: mask, Acct: acct})
+	return &rig{eng: eng, cpus: cpus, mem: mem, tr: tr, acct: acct}
+}
+
+func (r *rig) run(t *testing.T, fn func(ctx vfsapi.Ctx)) {
+	t.Helper()
+	r.eng.Go("app", func(p *sim.Proc) {
+		fn(vfsapi.Ctx{P: p, T: r.cpus.NewThread(r.acct, cpu.MaskOf(0, 1, 2, 3))})
+	})
+	r.eng.Run()
+}
+
+func TestOperationsForwarded(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1000)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := h.Read(ctx, 0, 500); got != 500 {
+			t.Fatalf("read %d", got)
+		}
+		h.Close(ctx)
+		hw, _ := r.tr.Open(ctx, "/g", vfsapi.CREATE|vfsapi.WRONLY)
+		hw.Write(ctx, 0, 100)
+		off, _ := hw.Append(ctx, 20)
+		if off != 100 {
+			t.Fatalf("append at %d", off)
+		}
+		hw.Fsync(ctx)
+		hw.Close(ctx)
+		info, err := r.tr.Stat(ctx, "/g")
+		if err != nil || info.Size != 120 {
+			t.Fatalf("stat: %+v %v", info, err)
+		}
+	})
+	if r.tr.Calls() == 0 {
+		t.Fatal("no calls recorded")
+	}
+}
+
+func TestNoModeSwitchesOnDefaultPath(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1<<20)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		for i := 0; i < 10; i++ {
+			h.Read(ctx, 0, 1<<20)
+		}
+		h.Close(ctx)
+	})
+	if got := r.acct.ModeSwitches(); got != 0 {
+		t.Fatalf("mode switches on user-level path = %d, want 0", got)
+	}
+}
+
+func TestBurstAvoidsWakeups(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1000)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		for i := 0; i < 100; i++ {
+			h.Read(ctx, 0, 100)
+		}
+		h.Close(ctx)
+	})
+	// Back-to-back requests hit a polling service thread: only the
+	// first call should need a wakeup.
+	if w := r.tr.Wakeups(); w != 1 {
+		t.Fatalf("wakeups = %d, want 1 for a tight burst", w)
+	}
+	if got := r.acct.ContextSwitches(); got != 1 {
+		t.Fatalf("context switches = %d, want 1", got)
+	}
+}
+
+func TestIdleGapCausesWakeup(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1000)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		h.Read(ctx, 0, 100)
+		ctx.P.Sleep(10 * time.Millisecond) // let the service thread sleep
+		h.Read(ctx, 0, 100)
+		h.Close(ctx)
+	})
+	if w := r.tr.Wakeups(); w != 2 {
+		t.Fatalf("wakeups = %d, want 2 (initial + after idle gap)", w)
+	}
+}
+
+func TestThreadPinnedToQueueGroup(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1000)
+	var mask cpu.Mask
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		h.Read(ctx, 0, 100)
+		h.Close(ctx)
+		mask = ctx.T.Affinity()
+	})
+	// After the first request the app thread must be pinned to exactly
+	// one core group (2 cores).
+	if mask.Count() != 2 {
+		t.Fatalf("thread affinity after pinning = %v, want one core group", mask)
+	}
+}
+
+func TestServiceStaysInsidePoolMask(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1))
+	r.mem.Provision("/f", 64<<20)
+	r.eng.Go("app", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: r.cpus.NewThread(r.acct, cpu.MaskOf(0, 1))}
+		h, _ := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+		for i := 0; i < 20; i++ {
+			h.Read(ctx, 0, 1<<20)
+		}
+		h.Close(ctx)
+	})
+	r.eng.Run()
+	util := r.cpus.UtilSnapshot()
+	for core := 2; core < 8; core++ {
+		if util[core] != 0 {
+			t.Fatalf("service work leaked to core %d: %v", core, util)
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if _, err := r.tr.Open(ctx, "/missing", vfsapi.RDONLY); err != vfsapi.ErrNotExist {
+			t.Fatalf("open missing: %v", err)
+		}
+		if err := r.tr.Mkdir(ctx, "/a/b/c"); err != vfsapi.ErrNotExist {
+			t.Fatalf("mkdir under missing: %v", err)
+		}
+	})
+}
+
+func TestDirectoryOpsForwarded(t *testing.T) {
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.run(t, func(ctx vfsapi.Ctx) {
+		r.tr.Mkdir(ctx, "/d")
+		h, _ := r.tr.Open(ctx, "/d/f", vfsapi.CREATE|vfsapi.WRONLY)
+		h.Close(ctx)
+		ents, err := r.tr.Readdir(ctx, "/d")
+		if err != nil || len(ents) != 1 {
+			t.Fatalf("readdir %v %v", ents, err)
+		}
+		if err := r.tr.Rename(ctx, "/d/f", "/d/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.tr.Unlink(ctx, "/d/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.tr.Rmdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBacklogSpawnsExtraServiceThreads(t *testing.T) {
+	eng := sim.NewEngine()
+	params := model.Default()
+	params.IPCScaleThreshold = 2 // scale early for the test
+	cpus := cpu.New(eng, params, 8)
+	mem := memfs.New()
+	mem.OpDelay = time.Millisecond // slow service => backlog builds
+	mem.Provision("/f", 1<<20)
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "svc", Mask: cpu.MaskOf(0, 1), Acct: acct})
+	for i := 0; i < 16; i++ {
+		eng.Go("app", func(p *sim.Proc) {
+			ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, cpu.MaskOf(0, 1))}
+			h, _ := tr.Open(ctx, "/f", vfsapi.RDONLY)
+			for j := 0; j < 4; j++ {
+				h.Read(ctx, 0, 1024)
+			}
+			h.Close(ctx)
+		})
+	}
+	eng.Run()
+	if tr.ScaleEvents() == 0 {
+		t.Fatal("sustained backlog never grew the service-thread pool")
+	}
+}
+
+func TestRepinMovesServiceThreads(t *testing.T) {
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	mem := memfs.New()
+	mem.Provision("/f", 16<<20)
+	acct := cpu.NewAccount("pool")
+	tr := New(eng, cpus, params, mem, Config{Name: "svc", Mask: cpu.MaskOf(0, 1), Acct: acct})
+	eng.Go("app", func(p *sim.Proc) {
+		th := cpus.NewThread(acct, cpu.MaskOf(0, 1))
+		ctx := vfsapi.Ctx{P: p, T: th}
+		h, _ := tr.Open(ctx, "/f", vfsapi.RDONLY)
+		for i := 0; i < 8; i++ {
+			h.Read(ctx, 0, 1<<20)
+		}
+		before := cpus.UtilSnapshot()
+		tr.Repin(cpu.MaskOf(2, 3))
+		th.SetAffinity(cpu.MaskOf(2, 3))
+		for i := 0; i < 8; i++ {
+			h.Read(ctx, 0, 1<<20)
+		}
+		h.Close(ctx)
+		after := cpus.UtilSnapshot()
+		if after[0] != before[0] || after[1] != before[1] {
+			t.Errorf("work continued on old cores after repin")
+		}
+		if after[2] == before[2] && after[3] == before[3] {
+			t.Errorf("no work on new cores after repin")
+		}
+	})
+	eng.Run()
+}

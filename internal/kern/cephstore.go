@@ -1,0 +1,164 @@
+package kern
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/vfsapi"
+)
+
+// CephStore is the kernel Ceph client backend (configuration K): VFS
+// requests reach the cluster over the network, with an in-kernel
+// attribute/dentry cache avoiding repeated MDS round trips. Wire
+// transfers pay checksum and protocol CPU in kernel mode on the calling
+// thread (or the roaming flusher thread during writeback — the
+// mechanism that lets the kernel client consume foreign pool cores).
+type CephStore struct {
+	kern *Kernel
+	clus *cluster.Cluster
+
+	attrs map[string]attrEntry // dentry/attribute cache
+	paths map[uint64]string    // ino -> authoritative path
+}
+
+type attrEntry struct {
+	info vfsapi.FileInfo
+	ino  uint64
+}
+
+// NewCephStore creates a kernel Ceph client store against the cluster.
+func NewCephStore(k *Kernel, clus *cluster.Cluster) *CephStore {
+	return &CephStore{
+		kern:  k,
+		clus:  clus,
+		attrs: map[string]attrEntry{},
+		paths: map[uint64]string{},
+	}
+}
+
+func (s *CephStore) opCPU(ctx vfsapi.Ctx) {
+	ctx.T.Exec(ctx.P, cpu.Kernel, s.kern.params.KernelClientOpCost)
+}
+
+// wireCPU charges protocol + checksum processing for n wire bytes.
+func (s *CephStore) wireCPU(ctx vfsapi.Ctx, n int64) {
+	p := s.kern.params
+	ctx.T.Exec(ctx.P, cpu.Kernel, p.NetOpCost)
+	ctx.T.ExecBytes(ctx.P, cpu.Kernel, n, p.NetCPUBytesPerSec)
+	ctx.T.ExecBytes(ctx.P, cpu.Kernel, n, p.ChecksumBytesPerSec)
+}
+
+// Lookup resolves a path, serving repeated lookups from the attribute
+// cache.
+func (s *CephStore) Lookup(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64, error) {
+	s.opCPU(ctx)
+	if e, ok := s.attrs[path]; ok {
+		return e.info, e.ino, nil
+	}
+	s.wireCPU(ctx, 256)
+	info, ino, err := s.clus.MetaLookup(ctx, path)
+	if err != nil {
+		return vfsapi.FileInfo{}, 0, err
+	}
+	s.attrs[path] = attrEntry{info: info, ino: ino}
+	s.paths[ino] = path
+	return info, ino, nil
+}
+
+// Create makes a file at the MDS.
+func (s *CephStore) Create(ctx vfsapi.Ctx, path string) (uint64, error) {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 256)
+	ino, err := s.clus.MetaCreate(ctx, path)
+	if err != nil {
+		return 0, err
+	}
+	s.attrs[path] = attrEntry{info: vfsapi.FileInfo{Name: path}, ino: ino}
+	s.paths[ino] = path
+	return ino, nil
+}
+
+// Mkdir creates a directory at the MDS.
+func (s *CephStore) Mkdir(ctx vfsapi.Ctx, path string) error {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 256)
+	return s.clus.MetaMkdir(ctx, path)
+}
+
+// Readdir lists a directory at the MDS.
+func (s *CephStore) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 512)
+	return s.clus.MetaReaddir(ctx, path)
+}
+
+// Unlink removes a file at the MDS and invalidates the cached entry.
+func (s *CephStore) Unlink(ctx vfsapi.Ctx, path string) (uint64, error) {
+	s.opCPU(ctx)
+	var ino uint64
+	if e, ok := s.attrs[path]; ok {
+		ino = e.ino
+	}
+	s.wireCPU(ctx, 256)
+	if err := s.clus.MetaUnlink(ctx, path); err != nil {
+		return 0, err
+	}
+	delete(s.attrs, path)
+	delete(s.paths, ino)
+	return ino, nil
+}
+
+// Rmdir removes a directory at the MDS.
+func (s *CephStore) Rmdir(ctx vfsapi.Ctx, path string) error {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 256)
+	return s.clus.MetaRmdir(ctx, path)
+}
+
+// Rename moves a file at the MDS, rewriting the cached entries.
+func (s *CephStore) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 256)
+	if err := s.clus.MetaRename(ctx, oldPath, newPath); err != nil {
+		return err
+	}
+	if e, ok := s.attrs[oldPath]; ok {
+		delete(s.attrs, oldPath)
+		s.attrs[newPath] = e
+		s.paths[e.ino] = newPath
+	}
+	return nil
+}
+
+// SetSize pushes the file size to the MDS.
+func (s *CephStore) SetSize(ctx vfsapi.Ctx, ino uint64, size int64) error {
+	path, ok := s.paths[ino]
+	if !ok {
+		return vfsapi.ErrNotExist
+	}
+	s.opCPU(ctx)
+	s.wireCPU(ctx, 256)
+	if err := s.clus.MetaSetSize(ctx, path, size); err != nil {
+		return err
+	}
+	if e, ok := s.attrs[path]; ok {
+		if size > e.info.Size || size == 0 {
+			e.info.Size = size
+		}
+		s.attrs[path] = e
+	}
+	return nil
+}
+
+// ReadData fetches object data from the OSDs.
+func (s *CephStore) ReadData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, n)
+	s.clus.Read(ctx, ino, off, n)
+}
+
+// WriteData stores object data on the OSDs.
+func (s *CephStore) WriteData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	s.opCPU(ctx)
+	s.wireCPU(ctx, n)
+	s.clus.Write(ctx, ino, off, n)
+}

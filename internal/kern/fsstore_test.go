@@ -1,0 +1,162 @@
+package kern
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// fsStoreRig mounts a page cache over an inner memfs through FSStore —
+// the FP stacking.
+type fsStoreRig struct {
+	eng   *sim.Engine
+	cpus  *cpu.CPU
+	kern  *Kernel
+	inner *memfs.FS
+	mount *Mount
+	acct  *cpu.Account
+}
+
+func newFSStoreRig(t *testing.T) *fsStoreRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	k := New(eng, cpus, params)
+	inner := memfs.New()
+	m := k.Mount(NewFSStore(inner), MountConfig{Name: "fp"})
+	return &fsStoreRig{eng: eng, cpus: cpus, kern: k, inner: inner, mount: m, acct: cpu.NewAccount("a")}
+}
+
+func (r *fsStoreRig) run(t *testing.T, fn func(ctx vfsapi.Ctx)) {
+	t.Helper()
+	r.eng.Go("t", func(p *sim.Proc) {
+		fn(vfsapi.Ctx{P: p, T: r.cpus.NewThread(r.acct, 0)})
+		r.kern.Stop()
+	})
+	r.eng.Run()
+}
+
+func TestFSStoreCreateWriteReadThrough(t *testing.T) {
+	r := newFSStoreRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.mount.Open(ctx, "/f", vfsapi.CREATE|vfsapi.RDWR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(ctx, 0, 1<<20)
+		if err := h.Fsync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		h.Close(ctx)
+		// The flushed data reached the inner filesystem.
+		info, err := r.inner.Stat(ctx, "/f")
+		if err != nil || info.Size != 1<<20 {
+			t.Fatalf("inner state: %+v %v", info, err)
+		}
+		// Cached read: no additional inner reads after the first fill.
+		hr, _ := r.mount.Open(ctx, "/f", vfsapi.RDONLY)
+		hr.Read(ctx, 0, 1<<20)
+		innerReads := r.inner.Reads
+		hr.Read(ctx, 0, 1<<20)
+		if r.inner.Reads != innerReads {
+			t.Fatal("page-cached read still hit the inner filesystem")
+		}
+		hr.Close(ctx)
+	})
+}
+
+func TestFSStoreDoubleCachingCountsTwice(t *testing.T) {
+	// The FP construction's memory signature: the page cache above and
+	// the inner user-level cache both hold the data.
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	k := New(eng, cpus, params)
+	inner := memfs.New()
+	inner.Provision("/data", 8<<20)
+	m := k.Mount(NewFSStore(inner), MountConfig{Name: "fp"})
+	acct := cpu.NewAccount("a")
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, 0)}
+		h, _ := m.Open(ctx, "/data", vfsapi.RDONLY)
+		h.Read(ctx, 0, 8<<20)
+		h.Close(ctx)
+		k.Stop()
+	})
+	eng.Run()
+	if got := m.Meter().Current(); got < 8<<20 {
+		t.Fatalf("page cache above the user filesystem holds %d, want >= 8MB", got)
+	}
+}
+
+func TestFSStoreRenameAndUnlink(t *testing.T) {
+	r := newFSStoreRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, _ := r.mount.Open(ctx, "/a", vfsapi.CREATE|vfsapi.WRONLY)
+		h.Write(ctx, 0, 4096)
+		h.Fsync(ctx)
+		h.Close(ctx)
+		if err := r.mount.Rename(ctx, "/a", "/b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.mount.Stat(ctx, "/a"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("old name visible: %v", err)
+		}
+		info, err := r.mount.Stat(ctx, "/b")
+		if err != nil || info.Size != 4096 {
+			t.Fatalf("renamed: %+v %v", info, err)
+		}
+		if err := r.mount.Unlink(ctx, "/b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.inner.Stat(ctx, "/b"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("inner file survived unlink: %v", err)
+		}
+	})
+}
+
+func TestFSStoreTruncateViaSetSize(t *testing.T) {
+	r := newFSStoreRig(t)
+	r.inner.Provision("/t", 1<<20)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.mount.Open(ctx, "/t", vfsapi.WRONLY|vfsapi.TRUNC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Size() != 0 {
+			t.Fatalf("size after trunc = %d", h.Size())
+		}
+		h.Close(ctx)
+		info, _ := r.inner.Stat(ctx, "/t")
+		if info.Size != 0 {
+			t.Fatalf("inner size after trunc = %d", info.Size)
+		}
+	})
+}
+
+func TestFSStoreDirectoryOps(t *testing.T) {
+	r := newFSStoreRig(t)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.mount.Mkdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := r.mount.Open(ctx, "/d/x", vfsapi.CREATE|vfsapi.WRONLY)
+		h.Close(ctx)
+		ents, err := r.mount.Readdir(ctx, "/d")
+		if err != nil || len(ents) != 1 {
+			t.Fatalf("readdir: %v %v", ents, err)
+		}
+		if err := r.mount.Unlink(ctx, "/d/x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mount.Rmdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

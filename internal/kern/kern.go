@@ -1,0 +1,187 @@
+// Package kern models the shared host kernel: the VFS entry layer, a
+// page cache with per-mount memory limits and dirty tracking, global
+// kernel locks (page-LRU and writeback list), per-file inode mutexes,
+// and roaming writeback flusher threads.
+//
+// Two properties of this model drive the paper's motivation results:
+//
+//   - Flusher threads run with a host-wide affinity mask, so dirty data
+//     of one container pool is flushed using the idle reserved cores of
+//     every other pool (Fig 1a). When those cores become busy, flushing
+//     — and therefore write throughput — collapses.
+//
+//   - All mounts share the kernel's lru and writeback locks, so a
+//     high-rate tenant inflates every other tenant's per-request lock
+//     wait (Fig 1b).
+package kern
+
+import (
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// Kernel is one host kernel instance shared by every container pool on
+// the machine.
+type Kernel struct {
+	eng    *sim.Engine
+	cpus   *cpu.CPU
+	params *model.Params
+	acct   *cpu.Account // kernel-thread accounting (flushers)
+
+	// Global locks shared across all mounts.
+	lruLock       *sim.Mutex
+	writebackLock *sim.Mutex
+
+	mounts     []*Mount
+	mountRR    int // rotating scan start for fair writeback across mounts
+	flusherQ   *sim.WaitQueue
+	flushers   int
+	stopped    bool
+	inodeLocks []*sim.Mutex // registry for lock statistics
+}
+
+// New creates the host kernel and starts its writeback flusher threads.
+func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params) *Kernel {
+	k := &Kernel{
+		eng:           eng,
+		cpus:          cpus,
+		params:        params,
+		acct:          cpu.NewAccount("kernel"),
+		lruLock:       sim.NewMutex(eng, "lru_lock"),
+		writebackLock: sim.NewMutex(eng, "wb_lock"),
+		flusherQ:      sim.NewWaitQueue(eng, "flusherq"),
+	}
+	for i := 0; i < params.NumFlushers; i++ {
+		k.flushers++
+		eng.Go("kflushd", func(p *sim.Proc) { k.flusherLoop(p) })
+	}
+	return k
+}
+
+// Account returns the kernel-thread CPU account.
+func (k *Kernel) Account() *cpu.Account { return k.acct }
+
+// CPU returns the host processor.
+func (k *Kernel) CPU() *cpu.CPU { return k.cpus }
+
+// Params returns the cost model.
+func (k *Kernel) Params() *model.Params { return k.params }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Stop terminates the flusher threads after their current pass (used at
+// the end of an experiment so the engine can drain).
+func (k *Kernel) Stop() {
+	k.stopped = true
+	k.flusherQ.Broadcast()
+	for _, m := range k.mounts {
+		m.throttleQ.Broadcast()
+	}
+}
+
+// LockStats aggregates wait/hold statistics across every kernel lock:
+// the global lru and writeback locks plus all per-file inode mutexes.
+// This is the quantity plotted in Fig 1b (per-request wait and hold).
+func (k *Kernel) LockStats() sim.LockStats {
+	var agg sim.LockStats
+	add := func(s sim.LockStats) {
+		agg.Acquisitions += s.Acquisitions
+		agg.Contended += s.Contended
+		agg.TotalWait += s.TotalWait
+		agg.TotalHold += s.TotalHold
+		if s.MaxWait > agg.MaxWait {
+			agg.MaxWait = s.MaxWait
+		}
+	}
+	add(k.lruLock.Stats())
+	add(k.writebackLock.Stats())
+	for _, m := range k.inodeLocks {
+		add(m.Stats())
+	}
+	return agg
+}
+
+// ResetLockStats zeroes all kernel lock statistics (measurement window
+// boundary).
+func (k *Kernel) ResetLockStats() {
+	k.lruLock.ResetStats()
+	k.writebackLock.ResetStats()
+	for _, m := range k.inodeLocks {
+		m.ResetStats()
+	}
+}
+
+func (k *Kernel) newInodeLock() *sim.Mutex {
+	m := sim.NewMutex(k.eng, "i_mutex")
+	k.inodeLocks = append(k.inodeLocks, m)
+	return m
+}
+
+// SmallOpLockStress charges the shared kernel locks with the aggregate
+// hold time of `ops` page-granular operations. Workloads that batch a
+// dense small-op stream for event economy (the RandomIO stressor's
+// 512-byte requests) use it so the lock pressure the stream exerts on
+// other tenants is preserved (the Fig 1b mechanism).
+func (k *Kernel) SmallOpLockStress(ctx vfsapi.Ctx, ops int) {
+	k.lruLock.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.Kernel, time.Duration(ops)*k.params.LRULockHoldPerPage)
+	k.lruLock.Unlock(ctx.P)
+	k.writebackLock.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.Kernel, time.Duration(ops)*k.params.WritebackLockHold)
+	k.writebackLock.Unlock(ctx.P)
+}
+
+// wakeFlushers nudges the writeback threads outside their periodic
+// schedule (a mount crossed its background dirty threshold).
+func (k *Kernel) wakeFlushers() {
+	k.flusherQ.Broadcast()
+}
+
+// flusherLoop is one kernel writeback thread. Its CPU thread roams the
+// entire host: this is the core-stealing behaviour of Fig 1a.
+func (k *Kernel) flusherLoop(p *sim.Proc) {
+	th := k.cpus.NewThread(k.acct, k.cpus.AllMask())
+	ctx := vfsapi.Ctx{P: p, T: th}
+	for !k.stopped {
+		k.flusherQ.WaitTimeout(p, k.params.WritebackInterval)
+		if k.stopped {
+			return
+		}
+		for {
+			m := k.pickDirtyMount()
+			if m == nil {
+				break
+			}
+			if !m.flushPass(ctx) {
+				break
+			}
+		}
+	}
+}
+
+// pickDirtyMount selects a mount needing writeback: above its
+// background threshold, or holding dirty data older than the expire
+// age. Several writeback threads may work one mount on distinct files
+// (Linux spreads bdi writeback across kworkers), which is how a single
+// busy tenant recruits every activated core of the host.
+func (k *Kernel) pickDirtyMount() *Mount {
+	now := k.eng.Now()
+	n := len(k.mounts)
+	for i := 0; i < n; i++ {
+		m := k.mounts[(k.mountRR+i)%n]
+		if m.dirtyBytes == 0 || m.flushing >= k.params.NumFlushers {
+			continue
+		}
+		if m.dirtyBytes >= m.bgThresh || now-m.oldestDirty >= k.params.DirtyExpire {
+			m.flushing++
+			k.mountRR = (k.mountRR + i + 1) % n
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,422 @@
+package kern
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/extent"
+	"repro/internal/memacct"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// Store is the backing of a kernel mount: the local disk filesystem or
+// the kernel Ceph client's network path. Data calls block for the
+// device or network time they imply.
+type Store interface {
+	Lookup(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64, error)
+	Create(ctx vfsapi.Ctx, path string) (uint64, error)
+	Mkdir(ctx vfsapi.Ctx, path string) error
+	Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error)
+	Unlink(ctx vfsapi.Ctx, path string) (uint64, error)
+	Rmdir(ctx vfsapi.Ctx, path string) error
+	Rename(ctx vfsapi.Ctx, oldPath, newPath string) error
+	SetSize(ctx vfsapi.Ctx, ino uint64, size int64) error
+	ReadData(ctx vfsapi.Ctx, ino uint64, off, n int64)
+	WriteData(ctx vfsapi.Ctx, ino uint64, off, n int64)
+}
+
+// MountConfig configures a kernel mount's caching behaviour.
+type MountConfig struct {
+	// Name identifies the mount in diagnostics.
+	Name string
+	// MemLimit bounds the page-cache bytes this mount may hold (the
+	// cgroup memory reservation of its pool).
+	MemLimit int64
+	// MaxDirty is the dirty-byte throttle threshold (the paper sets it
+	// to 50% of pool RAM for the kernel Ceph client).
+	MaxDirty int64
+	// Meter attributes cache memory; optional.
+	Meter *memacct.Meter
+}
+
+// Mount is one kernel filesystem instance: a Store fronted by the
+// shared page cache. It implements vfsapi.FileSystem.
+type Mount struct {
+	kern  *Kernel
+	store Store
+	cfg   MountConfig
+	meter *memacct.Meter
+
+	files     map[uint64]*fileState
+	lru       *list.List // *fileState, front = coldest
+	dirtyList []*fileState
+
+	dirtyBytes  int64
+	oldestDirty time.Duration
+	bgThresh    int64
+	flushing    int // flusher threads currently working this mount
+	throttleQ   *sim.WaitQueue
+
+	// Writeback pacing state (balance_dirty_pages): an EWMA of the
+	// recently achieved flush rate paces writers when dirty data sits
+	// between the background and hard thresholds.
+	flushRate     float64 // bytes/sec
+	lastFlushDone time.Duration
+
+	readahead int64          // max readahead window; 0 disables
+	fetchQ    *sim.WaitQueue // readers waiting on in-flight page reads
+}
+
+type fileState struct {
+	ino        uint64
+	size       int64
+	cached     extent.Set
+	dirty      extent.Set
+	fetching   extent.Set // ranges being read in by another thread
+	imutex     *sim.Mutex
+	lruElem    *list.Element
+	inDirty    bool
+	dirtySince time.Duration
+	unlinked   bool
+	flushing   bool // a flusher is writing this file back
+}
+
+// Mount attaches a store to the kernel page cache and registers it for
+// writeback.
+func (k *Kernel) Mount(store Store, cfg MountConfig) *Mount {
+	if cfg.MemLimit <= 0 {
+		cfg.MemLimit = 1 << 62
+	}
+	if cfg.MaxDirty <= 0 {
+		cfg.MaxDirty = cfg.MemLimit / 2
+	}
+	meter := cfg.Meter
+	if meter == nil {
+		meter = memacct.NewMeter(cfg.Name + ".pagecache")
+	}
+	m := &Mount{
+		kern:      k,
+		store:     store,
+		cfg:       cfg,
+		meter:     meter,
+		files:     map[uint64]*fileState{},
+		lru:       list.New(),
+		bgThresh:  cfg.MaxDirty / 2,
+		throttleQ: sim.NewWaitQueue(k.eng, cfg.Name+".throttle"),
+		fetchQ:    sim.NewWaitQueue(k.eng, cfg.Name+".fetch"),
+		readahead: 512 << 10,
+	}
+	if m.bgThresh == 0 {
+		m.bgThresh = 1
+	}
+	k.mounts = append(k.mounts, m)
+	return m
+}
+
+// Meter returns the mount's page-cache memory meter.
+func (m *Mount) Meter() *memacct.Meter { return m.meter }
+
+// DirtyBytes returns the bytes awaiting writeback.
+func (m *Mount) DirtyBytes() int64 { return m.dirtyBytes }
+
+// Store returns the backing store.
+func (m *Mount) Store() Store { return m.store }
+
+func (m *Mount) file(ino uint64, size int64) *fileState {
+	f, ok := m.files[ino]
+	if !ok {
+		f = &fileState{ino: ino, size: size, imutex: m.kern.newInodeLock()}
+		m.files[ino] = f
+	}
+	return f
+}
+
+// touch moves f to the hot end of the LRU. Caller holds lru_lock.
+func (m *Mount) touch(f *fileState) {
+	if f.lruElem == nil {
+		f.lruElem = m.lru.PushBack(f)
+		return
+	}
+	m.lru.MoveToBack(f.lruElem)
+}
+
+// chargeLRU acquires the global lru lock and charges the per-page hold
+// for touching n bytes of page structures.
+func (m *Mount) chargeLRU(ctx vfsapi.Ctx, n int64, fn func()) {
+	k := m.kern
+	k.lruLock.Lock(ctx.P)
+	hold := time.Duration(k.params.Pages(n)) * k.params.LRULockHoldPerPage
+	if hold > 0 {
+		ctx.T.Exec(ctx.P, cpu.Kernel, hold)
+	}
+	fn()
+	k.lruLock.Unlock(ctx.P)
+}
+
+// cacheInsert adds [off,off+n) to f's resident set, evicting cold clean
+// pages if the mount exceeds its memory limit. The per-page lock hold
+// is charged only for pages actually added: rewriting already-resident
+// pages does not touch the LRU lists.
+func (m *Mount) cacheInsert(ctx vfsapi.Ctx, f *fileState, off, n int64) {
+	k := m.kern
+	k.lruLock.Lock(ctx.P)
+	added := f.cached.Insert(off, n)
+	m.meter.Alloc(added)
+	m.touch(f)
+	if hold := time.Duration(k.params.Pages(added)) * k.params.LRULockHoldPerPage; hold > 0 {
+		ctx.T.Exec(ctx.P, cpu.Kernel, hold)
+	}
+	k.lruLock.Unlock(ctx.P)
+	if m.meter.Current() > m.cfg.MemLimit {
+		m.evict(ctx)
+	}
+}
+
+// evict reclaims clean pages from the coldest files until the mount is
+// below its limit watermark.
+func (m *Mount) evict(ctx vfsapi.Ctx) {
+	watermark := m.cfg.MemLimit - m.cfg.MemLimit/16
+	var freedTotal int64
+	m.chargeLRU(ctx, 0, func() {
+		e := m.lru.Front()
+		for e != nil && m.meter.Current() > watermark {
+			next := e.Next()
+			f := e.Value.(*fileState)
+			freed := reclaimClean(f)
+			if freed > 0 {
+				m.meter.Free(freed)
+				freedTotal += freed
+			}
+			if f.cached.Len() == 0 {
+				m.lru.Remove(e)
+				f.lruElem = nil
+			}
+			e = next
+		}
+	})
+	if freedTotal > 0 {
+		// Page-structure work for the reclaimed pages.
+		hold := time.Duration(m.kern.params.Pages(freedTotal)) * m.kern.params.LRULockHoldPerPage
+		ctx.T.Exec(ctx.P, cpu.Kernel, hold)
+	}
+}
+
+// reclaimClean drops all clean ranges of f, keeping dirty ones
+// resident. It returns the bytes freed.
+func reclaimClean(f *fileState) int64 {
+	before := f.cached.Len()
+	keep := f.dirty.Extents()
+	f.cached.Clear()
+	for _, e := range keep {
+		f.cached.Insert(e.Off, e.Len)
+	}
+	return before - f.cached.Len()
+}
+
+// markDirty records freshly written bytes and applies dirty throttling:
+// a writer that pushes the mount past MaxDirty blocks (as I/O wait)
+// until the flushers bring it back down.
+func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
+	k := m.kern
+	k.writebackLock.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.Kernel, k.params.WritebackLockHold)
+	newly := f.dirty.Insert(off, n)
+	if newly > 0 {
+		if !f.inDirty {
+			f.inDirty = true
+			f.dirtySince = k.eng.Now()
+			m.dirtyList = append(m.dirtyList, f)
+			if len(m.dirtyList) == 1 {
+				m.oldestDirty = f.dirtySince
+			}
+		}
+		m.dirtyBytes += newly
+	}
+	k.writebackLock.Unlock(ctx.P)
+
+	if m.dirtyBytes >= m.bgThresh {
+		k.wakeFlushers()
+	}
+	// balance_dirty_pages: between the background and hard thresholds a
+	// writer is paced to the mount's achieved flush rate, with the pause
+	// ramping up quadratically as dirty data approaches the limit. A
+	// collapsing flush rate (flushers starved of cores by a noisy
+	// neighbour) therefore translates directly into writer slowdown.
+	if over := m.dirtyBytes - m.bgThresh; over > 0 && m.flushRate > 0 {
+		span := m.cfg.MaxDirty - m.bgThresh
+		ramp := float64(over) / float64(span)
+		if ramp > 1 {
+			ramp = 1
+		}
+		pause := time.Duration(float64(n) / m.flushRate * ramp * ramp * float64(time.Second))
+		if pause > 200*time.Millisecond {
+			pause = 200 * time.Millisecond
+		}
+		if pause > 0 {
+			start := k.eng.Now()
+			m.throttleQ.WaitTimeout(ctx.P, pause)
+			ctx.T.Account().AddIOWait(k.eng.Now() - start)
+		}
+	}
+	// Teardown safety: with the flushers stopped nobody can lower the
+	// dirty level, so writers must not spin on the threshold.
+	for m.dirtyBytes >= m.cfg.MaxDirty && !k.stopped {
+		start := k.eng.Now()
+		m.throttleQ.WaitTimeout(ctx.P, k.params.DirtyThrottleCheck)
+		ctx.T.Account().AddIOWait(k.eng.Now() - start)
+	}
+}
+
+// flushPass drains the mount toward its background threshold (and past
+// the expire age), running on a flusher's roaming thread. It reports
+// whether it flushed anything, so idle flushers back off instead of
+// re-picking a mount whose dirty files are all claimed.
+func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
+	k := m.kern
+	const batch = 1 << 20
+	progressed := false
+	for {
+		now := k.eng.Now()
+		needed := m.dirtyBytes >= m.bgThresh ||
+			(m.dirtyBytes > 0 && now-m.oldestDirty >= k.params.DirtyExpire)
+		if !needed {
+			break
+		}
+		f := m.nextDirtyFile()
+		if f == nil {
+			break
+		}
+		progressed = true
+		f.flushing = true
+		k.writebackLock.Lock(ctx.P)
+		ctx.T.Exec(ctx.P, cpu.Kernel, k.params.WritebackLockHold)
+		exts := f.dirty.PopFirst(batch)
+		k.writebackLock.Unlock(ctx.P)
+
+		var total int64
+		for _, e := range exts {
+			total += e.Len
+		}
+		// The inode mutex is held while the flusher prepares the batch
+		// (page scanning and submission CPU), serializing the
+		// application's writes to this file against flusher progress —
+		// the i_mutex delays the paper's kernel profiling identified.
+		// The store transfer itself proceeds under page locks only.
+		f.imutex.Lock(ctx.P)
+		ctx.T.ExecBytes(ctx.P, cpu.Kernel, total, k.params.FlusherBytesPerSec)
+		f.imutex.Unlock(ctx.P)
+		for _, e := range exts {
+			if !f.unlinked {
+				m.store.WriteData(ctx, f.ino, e.Off, e.Len)
+			}
+		}
+		f.flushing = false
+		m.updateFlushRate(total)
+		m.dirtyBytes -= total
+		if f.dirty.Len() == 0 {
+			m.removeDirty(f)
+			if !f.unlinked {
+				m.store.SetSize(ctx, f.ino, f.size)
+			}
+		}
+		m.throttleQ.Broadcast()
+	}
+	m.flushing--
+	return progressed
+}
+
+// updateFlushRate folds a completed batch into the pacing EWMA.
+func (m *Mount) updateFlushRate(total int64) {
+	now := m.kern.eng.Now()
+	if m.lastFlushDone > 0 && now > m.lastFlushDone {
+		inst := float64(total) / (now - m.lastFlushDone).Seconds()
+		if m.flushRate == 0 {
+			m.flushRate = inst
+		} else {
+			m.flushRate = 0.8*m.flushRate + 0.2*inst
+		}
+	}
+	m.lastFlushDone = now
+}
+
+// nextDirtyFile returns the longest-dirty file not already being
+// flushed by another writeback thread.
+func (m *Mount) nextDirtyFile() *fileState {
+	i := 0
+	for i < len(m.dirtyList) {
+		f := m.dirtyList[i]
+		if f.dirty.Len() == 0 && !f.flushing {
+			m.removeDirty(f)
+			continue
+		}
+		if !f.flushing && f.dirty.Len() > 0 {
+			return f
+		}
+		i++
+	}
+	return nil
+}
+
+func (m *Mount) removeDirty(f *fileState) {
+	for i, g := range m.dirtyList {
+		if g == f {
+			m.dirtyList = append(m.dirtyList[:i], m.dirtyList[i+1:]...)
+			break
+		}
+	}
+	f.inDirty = false
+	if len(m.dirtyList) > 0 {
+		m.oldestDirty = m.dirtyList[0].dirtySince
+	}
+}
+
+// SyncAll synchronously flushes every dirty file to the store and
+// propagates sizes (used when quiescing a mount, e.g. for container
+// migration).
+func (m *Mount) SyncAll(ctx vfsapi.Ctx) {
+	for {
+		f := m.nextDirtyFile()
+		if f == nil {
+			return
+		}
+		for f.dirty.Len() > 0 {
+			exts := f.dirty.PopFirst(4 << 20)
+			var total int64
+			for _, e := range exts {
+				if !f.unlinked {
+					m.store.WriteData(ctx, f.ino, e.Off, e.Len)
+				}
+				total += e.Len
+			}
+			m.dirtyBytes -= total
+		}
+		m.removeDirty(f)
+		if !f.unlinked {
+			m.store.SetSize(ctx, f.ino, f.size)
+		}
+		m.throttleQ.Broadcast()
+	}
+}
+
+// dropCache removes all residency and dirty state of f (unlink,
+// truncate).
+func (m *Mount) dropCache(ctx vfsapi.Ctx, f *fileState) {
+	m.chargeLRU(ctx, 0, func() {
+		if n := f.cached.Len(); n > 0 {
+			m.meter.Free(n)
+		}
+		f.cached.Clear()
+		if f.lruElem != nil {
+			m.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+	})
+	if d := f.dirty.Len(); d > 0 {
+		m.dirtyBytes -= d
+		f.dirty.Clear()
+		m.removeDirty(f)
+		m.throttleQ.Broadcast()
+	}
+}

@@ -1,0 +1,268 @@
+package kern
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/vfsapi"
+)
+
+// Mount implements vfsapi.FileSystem: the kernel filesystem path with
+// page caching, inode mutexes and writeback. Callers are expected to
+// already be in kernel mode (wrap with Syscalls for the user-entry
+// costs).
+
+// OpenForwarder is implemented by stores whose backing filesystem has
+// open-time semantics of its own (FSStore over a FUSE union): the mount
+// forwards each application open so copy-up and truncation fire below
+// the page cache at the right moment.
+type OpenForwarder interface {
+	ForwardOpen(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) error
+}
+
+// Open opens or creates a file.
+func (m *Mount) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	if fw, ok := m.store.(OpenForwarder); ok && flags.Writable() {
+		if err := fw.ForwardOpen(ctx, path, flags); err != nil && !(flags.Has(vfsapi.CREATE) && err == vfsapi.ErrNotExist) {
+			return nil, err
+		}
+	}
+	info, ino, err := m.store.Lookup(ctx, path)
+	switch {
+	case err == nil:
+		if info.IsDir {
+			return nil, vfsapi.ErrIsDir
+		}
+	case err == vfsapi.ErrNotExist && flags.Has(vfsapi.CREATE):
+		ino, err = m.store.Create(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		info = vfsapi.FileInfo{Name: path}
+	default:
+		return nil, err
+	}
+	f := m.file(ino, info.Size)
+	if flags.Has(vfsapi.TRUNC) && flags.Writable() {
+		m.dropCache(ctx, f)
+		f.size = 0
+		if err := m.store.SetSize(ctx, ino, 0); err != nil {
+			return nil, err
+		}
+	}
+	return &pagedHandle{m: m, f: f, path: path, flags: flags, raNext: -1}, nil
+}
+
+// Stat returns metadata, preferring the in-kernel (possibly dirty) size.
+func (m *Mount) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	info, ino, err := m.store.Lookup(ctx, path)
+	if err != nil {
+		return vfsapi.FileInfo{}, err
+	}
+	if f, ok := m.files[ino]; ok && !info.IsDir && f.size > info.Size {
+		info.Size = f.size
+	}
+	return info, nil
+}
+
+// Mkdir creates a directory.
+func (m *Mount) Mkdir(ctx vfsapi.Ctx, path string) error {
+	return m.store.Mkdir(ctx, path)
+}
+
+// Readdir lists a directory.
+func (m *Mount) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	return m.store.Readdir(ctx, path)
+}
+
+// Unlink removes a file and drops its cached state.
+func (m *Mount) Unlink(ctx vfsapi.Ctx, path string) error {
+	ino, err := m.store.Unlink(ctx, path)
+	if err != nil {
+		return err
+	}
+	if f, ok := m.files[ino]; ok {
+		f.unlinked = true
+		m.dropCache(ctx, f)
+		delete(m.files, ino)
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (m *Mount) Rmdir(ctx vfsapi.Ctx, path string) error {
+	return m.store.Rmdir(ctx, path)
+}
+
+// Rename moves a file.
+func (m *Mount) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	return m.store.Rename(ctx, oldPath, newPath)
+}
+
+// pagedHandle is an open file on a kernel mount.
+type pagedHandle struct {
+	m      *Mount
+	f      *fileState
+	path   string
+	flags  vfsapi.OpenFlag
+	closed bool
+	wrote  bool
+
+	// Sequential-read detection for readahead.
+	raNext   int64 // expected next offset; -1 = no stream yet
+	raWindow int64
+}
+
+// Path returns the open path.
+func (h *pagedHandle) Path() string { return h.path }
+
+// Size returns the kernel's view of the file size.
+func (h *pagedHandle) Size() int64 { return h.f.size }
+
+// Read serves [off,off+n) from the page cache, fetching misses from the
+// store with readahead on sequential streams.
+func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	if off >= h.f.size {
+		return 0, nil
+	}
+	if off+n > h.f.size {
+		n = h.f.size - off
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	m := h.m
+	params := m.kern.params
+
+	if h.flags.Has(vfsapi.DIRECT) {
+		m.store.ReadData(ctx, h.f.ino, off, n)
+		ctx.T.Exec(ctx.P, cpu.Kernel, params.CopyTime(n))
+		return n, nil
+	}
+
+	// Readahead: grow the window on sequential access, reset on seek.
+	fetchLen := n
+	if m.readahead > 0 {
+		if off == h.raNext {
+			if h.raWindow == 0 {
+				h.raWindow = m.readahead / 8
+			}
+			h.raWindow *= 2
+			if h.raWindow > m.readahead {
+				h.raWindow = m.readahead
+			}
+		} else {
+			h.raWindow = 0 // random access: no readahead
+		}
+		fetchLen += h.raWindow
+		if off+fetchLen > h.f.size {
+			fetchLen = h.f.size - off
+		}
+	}
+	h.raNext = off + n
+
+	// Fetch misses with page-lock semantics: ranges being read in by
+	// another thread are awaited rather than re-fetched.
+	for {
+		gaps := h.f.cached.Gaps(off, fetchLen)
+		if len(gaps) == 0 {
+			break
+		}
+		g := gaps[0]
+		if h.f.fetching.Covered(g.Off, g.Len) > 0 {
+			m.fetchQ.WaitTimeout(ctx.P, params.DirtyThrottleCheck)
+			continue
+		}
+		h.f.fetching.Insert(g.Off, g.Len)
+		m.store.ReadData(ctx, h.f.ino, g.Off, g.Len)
+		m.cacheInsert(ctx, h.f, g.Off, g.Len)
+		h.f.fetching.Remove(g.Off, g.Len)
+		m.fetchQ.Broadcast()
+	}
+	// LRU touch for the access (page flags only — cached reads do not
+	// pay per-page lock holds) plus the user-visible copy out.
+	m.chargeLRU(ctx, 0, func() { m.touch(h.f) })
+	ctx.T.Exec(ctx.P, cpu.Kernel, params.CopyTime(n))
+	return n, nil
+}
+
+// Write copies [off,off+n) into the page cache and marks it dirty,
+// throttling when the mount exceeds its dirty limit.
+func (h *pagedHandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	if !h.flags.Writable() && !h.flags.Has(vfsapi.CREATE) {
+		return 0, vfsapi.ErrReadOnly
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	m := h.m
+	params := m.kern.params
+	h.wrote = true
+
+	if h.flags.Has(vfsapi.DIRECT) {
+		ctx.T.Exec(ctx.P, cpu.Kernel, params.CopyTime(n))
+		m.store.WriteData(ctx, h.f.ino, off, n)
+		if end := off + n; end > h.f.size {
+			h.f.size = end
+			m.store.SetSize(ctx, h.f.ino, end)
+		}
+		return n, nil
+	}
+
+	h.f.imutex.Lock(ctx.P)
+	ctx.T.Exec(ctx.P, cpu.Kernel, params.IMutexHold)
+	ctx.T.Exec(ctx.P, cpu.Kernel, params.CopyTime(n))
+	m.cacheInsert(ctx, h.f, off, n)
+	if end := off + n; end > h.f.size {
+		h.f.size = end
+	}
+	h.f.imutex.Unlock(ctx.P)
+	m.markDirty(ctx, h.f, off, n)
+	return n, nil
+}
+
+// Append writes at end of file under the inode mutex.
+func (h *pagedHandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
+	off := h.f.size
+	_, err := h.Write(ctx, off, n)
+	return off, err
+}
+
+// Fsync synchronously drains this file's dirty pages to the store.
+func (h *pagedHandle) Fsync(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	m := h.m
+	for h.f.dirty.Len() > 0 {
+		m.kern.writebackLock.Lock(ctx.P)
+		ctx.T.Exec(ctx.P, cpu.Kernel, m.kern.params.WritebackLockHold)
+		exts := h.f.dirty.PopFirst(4 << 20)
+		m.kern.writebackLock.Unlock(ctx.P)
+		var total int64
+		for _, e := range exts {
+			m.store.WriteData(ctx, h.f.ino, e.Off, e.Len)
+			total += e.Len
+		}
+		m.dirtyBytes -= total
+		m.throttleQ.Broadcast()
+	}
+	m.removeDirty(h.f)
+	return m.store.SetSize(ctx, h.f.ino, h.f.size)
+}
+
+// Close releases the handle, propagating the size for written files.
+func (h *pagedHandle) Close(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	h.closed = true
+	if h.wrote && !h.f.unlinked {
+		return h.m.store.SetSize(ctx, h.f.ino, h.f.size)
+	}
+	return nil
+}

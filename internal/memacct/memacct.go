@@ -1,0 +1,83 @@
+// Package memacct provides byte-level memory accounting with high-water
+// tracking, used for the per-pool and per-cache memory comparisons of
+// the paper (Fig 11 bottom: maximum memory vs container count).
+package memacct
+
+import "fmt"
+
+// Meter tracks current and maximum bytes charged to one owner (a page
+// cache, a user-level client cache, a pool).
+type Meter struct {
+	name string
+	cur  int64
+	max  int64
+}
+
+// NewMeter creates a named meter.
+func NewMeter(name string) *Meter { return &Meter{name: name} }
+
+// Name returns the meter's name.
+func (m *Meter) Name() string { return m.name }
+
+// Alloc charges n bytes.
+func (m *Meter) Alloc(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("memacct: negative alloc %d on %s", n, m.name))
+	}
+	m.cur += n
+	if m.cur > m.max {
+		m.max = m.cur
+	}
+}
+
+// Free releases n bytes.
+func (m *Meter) Free(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("memacct: negative free %d on %s", n, m.name))
+	}
+	m.cur -= n
+	if m.cur < 0 {
+		panic(fmt.Sprintf("memacct: underflow on %s", m.name))
+	}
+}
+
+// Current returns bytes currently charged.
+func (m *Meter) Current() int64 { return m.cur }
+
+// Max returns the high-water mark.
+func (m *Meter) Max() int64 { return m.max }
+
+// ResetMax sets the high-water mark to the current usage (measurement
+// window boundary).
+func (m *Meter) ResetMax() { m.max = m.cur }
+
+// Group sums usage across several meters, e.g. all caches of one
+// configuration in the Fig 11 memory plots.
+type Group struct {
+	meters []*Meter
+}
+
+// NewGroup creates a group over the given meters.
+func NewGroup(meters ...*Meter) *Group { return &Group{meters: meters} }
+
+// Add appends a meter to the group.
+func (g *Group) Add(m *Meter) { g.meters = append(g.meters, m) }
+
+// Current returns the summed current usage.
+func (g *Group) Current() int64 {
+	var t int64
+	for _, m := range g.meters {
+		t += m.cur
+	}
+	return t
+}
+
+// MaxSum returns the sum of individual high-water marks (an upper bound
+// on the true combined peak, adequate for comparative reporting).
+func (g *Group) MaxSum() int64 {
+	var t int64
+	for _, m := range g.meters {
+		t += m.max
+	}
+	return t
+}

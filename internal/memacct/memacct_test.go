@@ -1,0 +1,75 @@
+package memacct
+
+import "testing"
+
+func TestMeterAllocFree(t *testing.T) {
+	m := NewMeter("m")
+	m.Alloc(100)
+	m.Alloc(50)
+	if m.Current() != 150 || m.Max() != 150 {
+		t.Fatalf("cur=%d max=%d", m.Current(), m.Max())
+	}
+	m.Free(120)
+	if m.Current() != 30 || m.Max() != 150 {
+		t.Fatalf("after free cur=%d max=%d", m.Current(), m.Max())
+	}
+	m.Alloc(40)
+	if m.Max() != 150 {
+		t.Fatalf("max should not move below prior peak: %d", m.Max())
+	}
+	m.Alloc(200)
+	if m.Max() != 270 {
+		t.Fatalf("max should track new peak: %d", m.Max())
+	}
+	if m.Name() != "m" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestMeterResetMax(t *testing.T) {
+	m := NewMeter("m")
+	m.Alloc(100)
+	m.Free(60)
+	m.ResetMax()
+	if m.Max() != 40 {
+		t.Fatalf("ResetMax -> %d, want 40", m.Max())
+	}
+}
+
+func TestMeterUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on underflow")
+		}
+	}()
+	NewMeter("m").Free(1)
+}
+
+func TestMeterNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative alloc")
+		}
+	}()
+	NewMeter("m").Alloc(-5)
+}
+
+func TestGroupSums(t *testing.T) {
+	a, b := NewMeter("a"), NewMeter("b")
+	g := NewGroup(a)
+	g.Add(b)
+	a.Alloc(100)
+	b.Alloc(50)
+	if g.Current() != 150 {
+		t.Fatalf("group current = %d", g.Current())
+	}
+	a.Free(100)
+	b.Alloc(25)
+	if g.Current() != 75 {
+		t.Fatalf("group current = %d", g.Current())
+	}
+	// MaxSum is the sum of individual peaks.
+	if g.MaxSum() != 100+75 {
+		t.Fatalf("group maxsum = %d", g.MaxSum())
+	}
+}

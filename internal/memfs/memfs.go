@@ -1,0 +1,180 @@
+// Package memfs provides a zero-cost in-memory vfsapi.FileSystem over
+// a namespace tree. It consumes no virtual time and is used as a test
+// double and as the reference model in property-based tests of the
+// stacked filesystems.
+package memfs
+
+import (
+	"time"
+
+	"repro/internal/nstree"
+	"repro/internal/vfsapi"
+)
+
+// FS is an in-memory filesystem. The zero value is not usable; call New.
+type FS struct {
+	tree *nstree.Tree
+
+	// OpDelay, when set, makes each data read and write consume that
+	// much virtual time — handy for tests that need a slow backend.
+	OpDelay time.Duration
+
+	// Counters for behavioural assertions in tests.
+	Reads  int64
+	Writes int64
+	Opens  int64
+}
+
+// New creates an empty filesystem.
+func New() *FS { return &FS{tree: nstree.New()} }
+
+// Tree exposes the namespace for direct provisioning.
+func (f *FS) Tree() *nstree.Tree { return f.tree }
+
+// Provision creates a file of the given size (ancestors included).
+func (f *FS) Provision(path string, size int64) error {
+	if err := f.tree.MkdirAll(parent(path), 0); err != nil {
+		return err
+	}
+	n, err := f.tree.Create(path, 0)
+	if err != nil {
+		return err
+	}
+	n.Size = size
+	return nil
+}
+
+func parent(path string) string {
+	parts := nstree.Split(path)
+	out := ""
+	for _, p := range parts[:len(parts)-1] {
+		out += "/" + p
+	}
+	if out == "" {
+		return "/"
+	}
+	return out
+}
+
+// Open opens or creates a file.
+func (f *FS) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	f.Opens++
+	n, err := f.tree.Lookup(path)
+	switch {
+	case err == nil:
+		if n.Dir {
+			return nil, vfsapi.ErrIsDir
+		}
+	case err == vfsapi.ErrNotExist && flags.Has(vfsapi.CREATE):
+		n, err = f.tree.Create(path, 0)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	if flags.Has(vfsapi.TRUNC) && flags.Writable() {
+		n.Size = 0
+	}
+	return &handle{fs: f, n: n, path: path, flags: flags}, nil
+}
+
+// Stat returns metadata for path.
+func (f *FS) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	n, err := f.tree.Lookup(path)
+	if err != nil {
+		return vfsapi.FileInfo{}, err
+	}
+	return n.Info(), nil
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(ctx vfsapi.Ctx, path string) error {
+	_, err := f.tree.Mkdir(path, 0)
+	return err
+}
+
+// Readdir lists a directory.
+func (f *FS) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	return f.tree.Readdir(path)
+}
+
+// Unlink removes a file.
+func (f *FS) Unlink(ctx vfsapi.Ctx, path string) error {
+	_, err := f.tree.Unlink(path)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (f *FS) Rmdir(ctx vfsapi.Ctx, path string) error { return f.tree.Rmdir(path) }
+
+// Rename moves a path.
+func (f *FS) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	return f.tree.Rename(oldPath, newPath, 0)
+}
+
+type handle struct {
+	fs     *FS
+	n      *nstree.Node
+	path   string
+	flags  vfsapi.OpenFlag
+	closed bool
+}
+
+func (h *handle) Path() string { return h.path }
+func (h *handle) Size() int64  { return h.n.Size }
+
+func (h *handle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	h.fs.Reads++
+	if h.fs.OpDelay > 0 {
+		ctx.P.Sleep(h.fs.OpDelay)
+	}
+	if off >= h.n.Size {
+		return 0, nil
+	}
+	if off+n > h.n.Size {
+		n = h.n.Size - off
+	}
+	return n, nil
+}
+
+func (h *handle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	if h.closed {
+		return 0, vfsapi.ErrClosed
+	}
+	if !h.flags.Writable() && !h.flags.Has(vfsapi.CREATE) {
+		return 0, vfsapi.ErrReadOnly
+	}
+	h.fs.Writes++
+	if h.fs.OpDelay > 0 {
+		ctx.P.Sleep(h.fs.OpDelay)
+	}
+	if end := off + n; end > h.n.Size {
+		h.n.Size = end
+	}
+	return n, nil
+}
+
+func (h *handle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
+	off := h.n.Size
+	_, err := h.Write(ctx, off, n)
+	return off, err
+}
+
+func (h *handle) Fsync(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	return nil
+}
+
+func (h *handle) Close(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	h.closed = true
+	return nil
+}

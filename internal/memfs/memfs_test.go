@@ -1,0 +1,129 @@
+package memfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+func run(t *testing.T, fn func(ctx vfsapi.Ctx)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.Go("t", func(p *sim.Proc) { fn(vfsapi.Ctx{P: p}) })
+	eng.Run()
+}
+
+func TestBasicLifecycle(t *testing.T) {
+	fs := New()
+	run(t, func(ctx vfsapi.Ctx) {
+		h, err := fs.Open(ctx, "/f", vfsapi.CREATE|vfsapi.RDWR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := h.Write(ctx, 0, 100); n != 100 {
+			t.Fatalf("write %d", n)
+		}
+		if off, _ := h.Append(ctx, 50); off != 100 {
+			t.Fatalf("append at %d", off)
+		}
+		if n, _ := h.Read(ctx, 0, 1000); n != 150 {
+			t.Fatalf("read %d", n)
+		}
+		if err := h.Fsync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(ctx); !errors.Is(err, vfsapi.ErrClosed) {
+			t.Fatalf("double close: %v", err)
+		}
+		info, err := fs.Stat(ctx, "/f")
+		if err != nil || info.Size != 150 {
+			t.Fatalf("stat: %+v %v", info, err)
+		}
+	})
+	if fs.Opens != 1 || fs.Writes != 2 || fs.Reads != 1 {
+		t.Fatalf("counters: opens=%d writes=%d reads=%d", fs.Opens, fs.Writes, fs.Reads)
+	}
+}
+
+func TestProvisionCreatesAncestors(t *testing.T) {
+	fs := New()
+	if err := fs.Provision("/a/b/c/file", 42); err != nil {
+		t.Fatal(err)
+	}
+	run(t, func(ctx vfsapi.Ctx) {
+		info, err := fs.Stat(ctx, "/a/b/c/file")
+		if err != nil || info.Size != 42 {
+			t.Fatalf("stat: %+v %v", info, err)
+		}
+		ents, err := fs.Readdir(ctx, "/a/b")
+		if err != nil || len(ents) != 1 || !ents[0].IsDir {
+			t.Fatalf("readdir: %v %v", ents, err)
+		}
+	})
+}
+
+func TestOpDelayConsumesVirtualTime(t *testing.T) {
+	fs := New()
+	fs.OpDelay = 5 * time.Millisecond
+	fs.Provision("/f", 100)
+	eng := sim.NewEngine()
+	var elapsed time.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p}
+		h, _ := fs.Open(ctx, "/f", vfsapi.RDWR)
+		h.Read(ctx, 0, 10)
+		h.Write(ctx, 0, 10)
+		h.Close(ctx)
+		elapsed = p.Now()
+	})
+	eng.Run()
+	if elapsed != 10*time.Millisecond {
+		t.Fatalf("elapsed %v, want 10ms", elapsed)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := New()
+	fs.Provision("/f", 1)
+	run(t, func(ctx vfsapi.Ctx) {
+		if _, err := fs.Open(ctx, "/missing", vfsapi.RDONLY); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("open missing: %v", err)
+		}
+		fs.Mkdir(ctx, "/d")
+		if _, err := fs.Open(ctx, "/d", vfsapi.RDONLY); !errors.Is(err, vfsapi.ErrIsDir) {
+			t.Fatalf("open dir: %v", err)
+		}
+		h, _ := fs.Open(ctx, "/f", vfsapi.RDONLY)
+		if _, err := h.Write(ctx, 0, 1); !errors.Is(err, vfsapi.ErrReadOnly) {
+			t.Fatalf("write rdonly: %v", err)
+		}
+		h.Close(ctx)
+		if err := fs.Rename(ctx, "/f", "/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(ctx, "/g"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir(ctx, "/d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New()
+	fs.Provision("/f", 1000)
+	run(t, func(ctx vfsapi.Ctx) {
+		h, _ := fs.Open(ctx, "/f", vfsapi.WRONLY|vfsapi.TRUNC)
+		if h.Size() != 0 {
+			t.Fatalf("size after trunc = %d", h.Size())
+		}
+		h.Close(ctx)
+	})
+}

@@ -1,0 +1,154 @@
+// Package metrics provides the measurement primitives the experiments
+// report: latency histograms with percentile queries, operation and
+// byte counters, and throughput computation over virtual-time windows.
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram records durations in exponential buckets (32 sub-buckets
+// per power of two, ~3% relative error), supporting mean and quantile
+// queries without retaining samples.
+type Histogram struct {
+	buckets [64 * subBuckets]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const subBuckets = 32
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.MaxInt64} }
+
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	// Top 5 bits after the leading one select the sub-bucket.
+	sub := int((v >> (uint(exp) - 5)) & (subBuckets - 1))
+	return (exp-4)*subBuckets + sub
+}
+
+func bucketValue(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx/subBuckets + 4
+	sub := idx % subBuckets
+	return (1 << uint(exp)) | (int64(sub) << uint(exp-5))
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := bucketIndex(int64(d))
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 < q <= 1), e.g. 0.99 for p99.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			v := time.Duration(bucketValue(i))
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() { *h = Histogram{min: math.MaxInt64} }
+
+// Counter accumulates operation and byte totals for a workload phase.
+type Counter struct {
+	Ops   uint64
+	Bytes int64
+}
+
+// Add records one operation moving n bytes.
+func (c *Counter) Add(n int64) {
+	c.Ops++
+	c.Bytes += n
+}
+
+// Throughput returns bytes/second over the window.
+func (c *Counter) Throughput(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / window.Seconds()
+}
+
+// OpsPerSec returns operations/second over the window.
+func (c *Counter) OpsPerSec(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / window.Seconds()
+}

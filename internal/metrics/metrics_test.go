@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v, want 50.5ms", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~99ms", p99)
+	}
+	med := h.Quantile(0.5)
+	if med < 47*time.Millisecond || med > 53*time.Millisecond {
+		t.Fatalf("median = %v, want ~50ms", med)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Fatalf("Min after reset = %v", h.Min())
+	}
+}
+
+// Property: bucketValue(bucketIndex(v)) is within ~3.2% of v.
+func TestBucketRelativeErrorProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= int64(72 * time.Hour)
+		idx := bucketIndex(v)
+		rep := bucketValue(idx)
+		if v < subBuckets {
+			return rep == v
+		}
+		diff := float64(v-rep) / float64(v)
+		return diff >= 0 && diff < 1.0/subBuckets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(10 * time.Second))))
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("quantile %v out of [min,max]", v)
+		}
+		prev = v
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Add(300)
+	if c.Ops != 2 || c.Bytes != 400 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if got := c.Throughput(2 * time.Second); got != 200 {
+		t.Fatalf("Throughput = %v, want 200 B/s", got)
+	}
+	if got := c.OpsPerSec(time.Second); got != 2 {
+		t.Fatalf("OpsPerSec = %v", got)
+	}
+	if c.Throughput(0) != 0 {
+		t.Fatal("zero window should yield 0")
+	}
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultParamsAreSane(t *testing.T) {
+	p := Default()
+	positiveDurations := map[string]time.Duration{
+		"Quantum": p.Quantum, "ModeSwitchCost": p.ModeSwitchCost,
+		"ContextSwitchCost": p.ContextSwitchCost, "VFSOpCost": p.VFSOpCost,
+		"LRULockHoldPerPage": p.LRULockHoldPerPage, "IMutexHold": p.IMutexHold,
+		"WritebackLockHold": p.WritebackLockHold, "WritebackInterval": p.WritebackInterval,
+		"DirtyExpire": p.DirtyExpire, "DirtyThrottleCheck": p.DirtyThrottleCheck,
+		"NetLatency": p.NetLatency, "NetOpCost": p.NetOpCost,
+		"DiskSeekTime": p.DiskSeekTime, "OSDOpCost": p.OSDOpCost,
+		"MDSOpCost": p.MDSOpCost, "FUSERequestOverhead": p.FUSERequestOverhead,
+		"IPCEnqueueCost": p.IPCEnqueueCost, "IPCWakeupCost": p.IPCWakeupCost,
+		"IPCPollWindow": p.IPCPollWindow, "ClientLockHold": p.ClientLockHold,
+		"ClientOpCost": p.ClientOpCost, "KernelClientOpCost": p.KernelClientOpCost,
+		"UnionLookupCost": p.UnionLookupCost,
+	}
+	for name, d := range positiveDurations {
+		if d <= 0 {
+			t.Errorf("%s = %v, want > 0", name, d)
+		}
+	}
+	positiveRates := map[string]int64{
+		"MemcpyBytesPerSec": p.MemcpyBytesPerSec, "ChecksumBytesPerSec": p.ChecksumBytesPerSec,
+		"PageSize": p.PageSize, "FlusherBytesPerSec": p.FlusherBytesPerSec,
+		"ClientNICBytesPerSec": p.ClientNICBytesPerSec, "ServerNICBytesPerSec": p.ServerNICBytesPerSec,
+		"NetMTU": p.NetMTU, "NetCPUBytesPerSec": p.NetCPUBytesPerSec,
+		"DiskSeqBytesPerSec": p.DiskSeqBytesPerSec, "DiskStripeUnit": p.DiskStripeUnit,
+		"ObjectSize": p.ObjectSize, "OSDRamdiskBytesPerSec": p.OSDRamdiskBytesPerSec,
+		"FUSEMaxWrite": p.FUSEMaxWrite, "CopyUpChunk": p.CopyUpChunk,
+	}
+	for name, v := range positiveRates {
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+	if p.ClientLockCopyFraction <= 0 || p.ClientLockCopyFraction > 1 {
+		t.Errorf("ClientLockCopyFraction = %v", p.ClientLockCopyFraction)
+	}
+	if p.OSDJournalFactor < 1 {
+		t.Errorf("OSDJournalFactor = %v", p.OSDJournalFactor)
+	}
+	if p.NumFlushers <= 0 || p.IPCScaleThreshold <= 0 {
+		t.Errorf("thread counts: flushers=%d scale=%d", p.NumFlushers, p.IPCScaleThreshold)
+	}
+	// The paper's writeback defaults: 1s writeback, 5s expire.
+	if p.WritebackInterval != time.Second || p.DirtyExpire != 5*time.Second {
+		t.Errorf("writeback constants: %v / %v", p.WritebackInterval, p.DirtyExpire)
+	}
+}
+
+func TestCopyTimeAndPages(t *testing.T) {
+	p := Default()
+	if got := p.CopyTime(p.MemcpyBytesPerSec); got != time.Second {
+		t.Errorf("CopyTime(1s worth) = %v", got)
+	}
+	if p.CopyTime(0) != 0 || p.CopyTime(-5) != 0 {
+		t.Error("non-positive copies should be free")
+	}
+	if p.Pages(1) != 1 || p.Pages(4096) != 1 || p.Pages(4097) != 2 {
+		t.Errorf("page rounding wrong: %d %d %d", p.Pages(1), p.Pages(4096), p.Pages(4097))
+	}
+	if p.Pages(0) != 0 {
+		t.Errorf("Pages(0) = %d", p.Pages(0))
+	}
+	if RateTime(100, 0) != 0 {
+		t.Error("zero rate should be free, not infinite")
+	}
+}

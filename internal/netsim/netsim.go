@@ -1,0 +1,116 @@
+// Package netsim models the network between the client host and the
+// storage servers: duplex links with bandwidth serialization, one-way
+// latency, and MTU-chunked pipelining so concurrent flows share a link
+// fairly.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Link is one direction of a network interface: transfers serialize on
+// the link at its configured bandwidth and then experience propagation
+// latency.
+type Link struct {
+	eng     *sim.Engine
+	name    string
+	bps     int64
+	latency time.Duration
+	mtu     int64
+	xmit    *sim.Mutex
+
+	bytes uint64
+	msgs  uint64
+}
+
+// NewLink creates a unidirectional link.
+func NewLink(eng *sim.Engine, name string, bytesPerSec int64, latency time.Duration, mtu int64) *Link {
+	if mtu <= 0 {
+		mtu = 64 << 10
+	}
+	return &Link{
+		eng:     eng,
+		name:    name,
+		bps:     bytesPerSec,
+		latency: latency,
+		mtu:     mtu,
+		xmit:    sim.NewMutex(eng, name+".xmit"),
+	}
+}
+
+// Transfer moves n bytes across the link, blocking the caller for
+// queueing + transmission + propagation. Transfers are chunked at the
+// MTU so concurrent flows interleave instead of convoying.
+func (l *Link) Transfer(p *sim.Proc, n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	l.msgs++
+	l.bytes += uint64(n)
+	for n > 0 {
+		chunk := l.mtu
+		if n < chunk {
+			chunk = n
+		}
+		l.xmit.Lock(p)
+		p.Sleep(model.RateTime(chunk, l.bps))
+		l.xmit.Unlock(p)
+		n -= chunk
+	}
+	p.Sleep(l.latency)
+}
+
+// Bytes returns total bytes transferred.
+func (l *Link) Bytes() uint64 { return l.bytes }
+
+// Messages returns total messages transferred.
+func (l *Link) Messages() uint64 { return l.msgs }
+
+// NIC is a duplex interface: independent transmit and receive links.
+type NIC struct {
+	TX *Link
+	RX *Link
+}
+
+// NewNIC creates a duplex NIC with symmetric per-direction bandwidth.
+func NewNIC(eng *sim.Engine, name string, bytesPerSec int64, latency time.Duration, mtu int64) *NIC {
+	return &NIC{
+		TX: NewLink(eng, name+".tx", bytesPerSec, latency, mtu),
+		RX: NewLink(eng, name+".rx", bytesPerSec, latency/2, mtu),
+	}
+}
+
+// Fabric connects the client host to the server VMs. A request path
+// crosses the client NIC and the target server's NIC; latency is paid
+// once per link.
+type Fabric struct {
+	Client  *NIC
+	Servers []*NIC
+}
+
+// NewFabric builds the testbed network: one client NIC (bonded 20 Gbps
+// in the paper) and one NIC per server VM.
+func NewFabric(eng *sim.Engine, params *model.Params, servers int) *Fabric {
+	f := &Fabric{
+		Client: NewNIC(eng, "client-nic", params.ClientNICBytesPerSec, params.NetLatency, params.NetMTU),
+	}
+	for i := 0; i < servers; i++ {
+		f.Servers = append(f.Servers, NewNIC(eng, "server-nic", params.ServerNICBytesPerSec, params.NetLatency, params.NetMTU))
+	}
+	return f
+}
+
+// Request moves n bytes from the client to server s (request direction).
+func (f *Fabric) Request(p *sim.Proc, s int, n int64) {
+	f.Client.TX.Transfer(p, n)
+	f.Servers[s].RX.Transfer(p, n)
+}
+
+// Reply moves n bytes from server s back to the client.
+func (f *Fabric) Reply(p *sim.Proc, s int, n int64) {
+	f.Servers[s].TX.Transfer(p, n)
+	f.Client.RX.Transfer(p, n)
+}

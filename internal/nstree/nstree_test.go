@@ -1,0 +1,207 @@
+package nstree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vfsapi"
+)
+
+func TestCreateLookupUnlink(t *testing.T) {
+	tr := New()
+	if err := tr.MkdirAll("/a/b", 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Create("/a/b/f.txt", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Size = 123
+	got, err := tr.Lookup("/a/b/f.txt")
+	if err != nil || got.Size != 123 || got.Dir {
+		t.Fatalf("lookup: %v %+v", err, got)
+	}
+	if _, err := tr.Create("/a/b/f.txt", 0); !errors.Is(err, vfsapi.ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := tr.Unlink("/a/b/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup("/a/b/f.txt"); !errors.Is(err, vfsapi.ErrNotExist) {
+		t.Fatalf("lookup after unlink: %v", err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	tr := New()
+	if _, err := tr.Lookup("/missing"); !errors.Is(err, vfsapi.ErrNotExist) {
+		t.Fatalf("got %v", err)
+	}
+	tr.Create("/file", 0)
+	if _, err := tr.Lookup("/file/below"); !errors.Is(err, vfsapi.ErrNotDir) {
+		t.Fatalf("descend through file: %v", err)
+	}
+	if _, err := tr.Create("/no/such/dir/f", 0); !errors.Is(err, vfsapi.ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+	if _, err := tr.Unlink("/"); !errors.Is(err, vfsapi.ErrExist) {
+		t.Fatalf("unlink root: %v", err)
+	}
+}
+
+func TestMkdirAllIdempotentAndConflicts(t *testing.T) {
+	tr := New()
+	if err := tr.MkdirAll("/x/y/z", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MkdirAll("/x/y/z", 0); err != nil {
+		t.Fatalf("idempotent MkdirAll: %v", err)
+	}
+	tr.Create("/x/y/file", 0)
+	if err := tr.MkdirAll("/x/y/file/sub", 0); !errors.Is(err, vfsapi.ErrNotDir) {
+		t.Fatalf("MkdirAll through file: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/d/sub", 0)
+	if err := tr.Rmdir("/d"); !errors.Is(err, vfsapi.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := tr.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	tr.Create("/f", 0)
+	if err := tr.Rmdir("/f"); !errors.Is(err, vfsapi.ErrNotDir) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+}
+
+func TestRenamePreservesInoAndSize(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/a", 0)
+	tr.MkdirAll("/b", 0)
+	n, _ := tr.Create("/a/f", 0)
+	n.Size = 77
+	ino := n.Ino
+	if err := tr.Rename("/a/f", "/b/g", 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup("/a/f"); !errors.Is(err, vfsapi.ErrNotExist) {
+		t.Fatal("old path still present")
+	}
+	got, err := tr.Lookup("/b/g")
+	if err != nil || got.Size != 77 || got.Ino != ino || got.MTime != 9 {
+		t.Fatalf("renamed node: %v %+v", err, got)
+	}
+}
+
+func TestRenameOverwritesFileNotDir(t *testing.T) {
+	tr := New()
+	tr.Create("/src", 0)
+	tr.Create("/dst", 0)
+	if err := tr.Rename("/src", "/dst", 0); err != nil {
+		t.Fatalf("rename over file: %v", err)
+	}
+	tr.Create("/src2", 0)
+	tr.MkdirAll("/dir", 0)
+	if err := tr.Rename("/src2", "/dir", 0); !errors.Is(err, vfsapi.ErrIsDir) {
+		t.Fatalf("rename over dir: %v", err)
+	}
+}
+
+func TestReaddirSorted(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/d", 0)
+	for _, name := range []string{"/d/zeta", "/d/alpha", "/d/mid"} {
+		tr.Create(name, 0)
+	}
+	tr.MkdirAll("/d/sub", 0)
+	ents, err := tr.Readdir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "sub", "zeta"}
+	if len(ents) != len(want) {
+		t.Fatalf("entries = %v", ents)
+	}
+	for i, e := range ents {
+		if e.Name != want[i] {
+			t.Fatalf("entries = %v, want %v", ents, want)
+		}
+		if e.Name == "sub" && !e.IsDir {
+			t.Fatal("sub should be a dir")
+		}
+	}
+	if _, err := tr.Readdir("/d/alpha"); !errors.Is(err, vfsapi.ErrNotDir) {
+		t.Fatalf("readdir file: %v", err)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/a/b", 0)
+	tr.Create("/a/b/f1", 0)
+	tr.Create("/a/f2", 0)
+	var paths []string
+	if err := tr.Walk("/", func(p string, n *Node) {
+		paths = append(paths, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"": true, "/a": true, "/a/b": true, "/a/b/f1": true, "/a/f2": true}
+	if len(paths) != len(want) {
+		t.Fatalf("walk visited %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q in %v", p, paths)
+		}
+	}
+}
+
+func TestSplitAndDepth(t *testing.T) {
+	if d := Depth("/a//b/./c/"); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	if got := Split("/"); len(got) != 0 {
+		t.Fatalf("Split(/) = %v", got)
+	}
+}
+
+func TestUniqueInos(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/d", 0)
+	seen := map[uint64]bool{}
+	for _, p := range []string{"/d/a", "/d/b", "/d/c"} {
+		n, err := tr.Create(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[n.Ino] {
+			t.Fatalf("duplicate ino %d", n.Ino)
+		}
+		seen[n.Ino] = true
+	}
+}
+
+func TestRenameIntoOwnSubtreeAndRoot(t *testing.T) {
+	tr := New()
+	tr.MkdirAll("/a/b", 0)
+	// Renaming the root is rejected.
+	if err := tr.Rename("/", "/c", 0); !errors.Is(err, vfsapi.ErrExist) {
+		t.Fatalf("rename root: %v", err)
+	}
+	// Rename a directory into another directory.
+	tr.MkdirAll("/dst", 0)
+	if err := tr.Rename("/a/b", "/dst/b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup("/dst/b"); err != nil {
+		t.Fatal("renamed dir missing")
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock over a heap of pending events.
+// Simulated processes (Proc) are goroutines that cooperatively hand
+// control back to the engine whenever they block on a simulated
+// primitive (Sleep, Mutex, WaitQueue, Resource). Exactly one goroutine
+// — either the engine loop or a single resumed process — runs at any
+// instant, so simulations are fully deterministic: two runs with the
+// same seeds produce identical event orders and identical virtual
+// timestamps.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	// parked receives a token whenever the currently running process
+	// blocks or terminates, returning control to the engine loop.
+	parked chan struct{}
+
+	running    *Proc // process currently executing, nil inside the loop
+	liveProcs  int   // processes started and not yet finished
+	nextProcID int
+
+	tracer func(TraceEvent) // optional observer, see SetTracer
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time since the start of the simulation.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// LiveProcs returns the number of processes that have been started and
+// have not yet returned. Useful in tests to detect leaked processes.
+func (e *Engine) LiveProcs() int { return e.liveProcs }
+
+// After schedules fn to run on the engine loop at now+d. Callbacks must
+// not block on simulation primitives; spawn a Proc for that.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.push(event{at: e.now + d, fn: fn})
+}
+
+// Go starts a new simulated process running fn. The process begins
+// executing at the current virtual time, after the caller next yields
+// to the engine. Go may be called before Run, from engine callbacks, or
+// from inside another process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	e.nextProcID++
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nextProcID,
+		resume: make(chan struct{}),
+	}
+	e.liveProcs++
+	go func() {
+		// The deferred handoff also covers runtime.Goexit (e.g. a
+		// t.Fatal inside a simulated process): the engine regains
+		// control instead of deadlocking on a lost park token.
+		defer func() {
+			p.done = true
+			e.liveProcs--
+			e.running = nil
+			e.parked <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	e.push(event{at: e.now, p: p})
+	return p
+}
+
+// Run processes events until the event heap is empty. Processes that
+// remain blocked on simulated primitives when the heap drains are left
+// parked; LiveProcs reports them.
+func (e *Engine) Run() {
+	e.RunUntil(-1)
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the
+// clock to deadline. A negative deadline means run to exhaustion.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 {
+		if deadline >= 0 && e.events[0].at > deadline {
+			break
+		}
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		switch {
+		case ev.fn != nil:
+			e.trace(TraceEvent{At: e.now, Kind: TraceCallback})
+			ev.fn()
+		case ev.p != nil:
+			e.trace(TraceEvent{At: e.now, Kind: TraceResume, Proc: ev.p.name, ProcID: ev.p.id})
+			e.resumeProc(ev.p)
+			if ev.p.done {
+				e.trace(TraceEvent{At: e.now, Kind: TraceFinish, Proc: ev.p.name, ProcID: ev.p.id})
+			}
+		}
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) resumeProc(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished proc %s", p.name))
+	}
+	p.pendingWake = false
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// ScheduleWake arranges for p to resume at the current virtual time.
+// It is the wake half of the Park/ScheduleWake pair used by packages
+// that build their own blocking primitives on top of the engine.
+func (e *Engine) ScheduleWake(p *Proc) {
+	e.scheduleWake(p, e.now)
+}
+
+// scheduleWake arranges for p to resume at absolute time at. A parked
+// process must have exactly one pending wake: double wakes corrupt the
+// park/resume pairing, so they are rejected loudly.
+func (e *Engine) scheduleWake(p *Proc, at time.Duration) {
+	if p.pendingWake {
+		panic(fmt.Sprintf("sim: double wake for proc %s", p.name))
+	}
+	p.pendingWake = true
+	if at < e.now {
+		at = e.now
+	}
+	e.push(event{at: at, p: p})
+}
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	e.events.push(ev)
+}
+
+func (e *Engine) pop() event { return e.events.pop() }

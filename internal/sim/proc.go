@@ -1,0 +1,72 @@
+package sim
+
+import "time"
+
+// Proc is a simulated process: a goroutine that runs only when resumed
+// by the engine and parks whenever it blocks on a simulated primitive.
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	// pendingWake guards the one-pending-wake invariant of the engine.
+	pendingWake bool
+
+	// wakeReason carries out-of-band information from whoever woke the
+	// process (e.g. whether a timed wait expired).
+	wakeReason wakeReason
+}
+
+type wakeReason int
+
+const (
+	wakeNormal wakeReason = iota
+	wakeTimeout
+)
+
+// Name returns the debug name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id assigned by the engine.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Park hands control back to the engine and blocks until another
+// component calls Engine.ScheduleWake(p). It is the block half of the
+// Park/ScheduleWake pair for building custom primitives; the caller is
+// responsible for ensuring someone will wake the process.
+func (p *Proc) Park() { p.park() }
+
+// park hands control back to the engine and blocks until resumed.
+func (p *Proc) park() wakeReason {
+	p.eng.running = nil
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	r := p.wakeReason
+	p.wakeReason = wakeNormal
+	return r
+}
+
+// Sleep advances this process's virtual time by d without consuming any
+// simulated resource.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		d = 0
+	}
+	p.eng.scheduleWake(p, p.eng.now+d)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// runnable work at the same timestamp execute first.
+func (p *Proc) Yield() {
+	p.eng.scheduleWake(p, p.eng.now)
+	p.park()
+}

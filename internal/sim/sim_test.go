@@ -1,0 +1,575 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsCallbacksInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callback order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOForSimultaneousEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestProcSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEngine()
+	var woke time.Duration
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Millisecond)
+					trace = append(trace, name)
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("trace length varies")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("nondeterministic trace: %v vs %v", got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(time.Second, func() { fired++ })
+	e.After(3*time.Second, func() { fired++ })
+	e.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after drain, want 2", fired)
+	}
+}
+
+func TestMutexProvidesMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex(e, "test")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		e.Go("worker", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				m.Lock(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(time.Millisecond)
+				inside--
+				m.Unlock(p)
+			}
+		})
+	}
+	e.Run()
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	s := m.Stats()
+	if s.Acquisitions != 20 {
+		t.Fatalf("Acquisitions = %d, want 20", s.Acquisitions)
+	}
+	// Total hold is 20 critical sections of 1ms each.
+	if s.TotalHold != 20*time.Millisecond {
+		t.Fatalf("TotalHold = %v, want 20ms", s.TotalHold)
+	}
+	if s.Contended == 0 || s.TotalWait == 0 {
+		t.Fatalf("expected contention, got %+v", s)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex(e, "fifo")
+	var order []int
+	e.Go("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(10 * time.Millisecond)
+		m.Unlock(p)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("waiter", func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond) // arrive in order
+			m.Lock(p)
+			order = append(order, i)
+			m.Unlock(p)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("handoff not FIFO: %v", order)
+		}
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex(e, "panic")
+	panicked := false
+	e.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		m.Unlock(p)
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("expected panic on unlock by non-owner")
+	}
+}
+
+func TestWaitQueueSignalWakesOldest(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e, "q")
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("waiter", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			q.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			q.Signal()
+			p.Sleep(time.Millisecond)
+		}
+	})
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("signal order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitQueueTimeout(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e, "q")
+	var timedOut, signalled bool
+	var when time.Duration
+	e.Go("t", func(p *Proc) {
+		timedOut = q.WaitTimeout(p, 50*time.Millisecond)
+		when = p.Now()
+	})
+	e.Go("s", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		signalled = q.WaitTimeout(p, time.Hour)
+		_ = signalled
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(100 * time.Millisecond)
+		q.Signal()
+	})
+	e.Run()
+	if !timedOut {
+		t.Fatal("first waiter should have timed out")
+	}
+	if when != 50*time.Millisecond {
+		t.Fatalf("timeout fired at %v, want 50ms", when)
+	}
+	if signalled {
+		t.Fatal("second waiter should have been signalled, not timed out")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty, len=%d", q.Len())
+	}
+}
+
+func TestWaitQueueSignalAfterTimeoutSkipsStaleWaiter(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e, "q")
+	woken := false
+	e.Go("short", func(p *Proc) {
+		q.WaitTimeout(p, 10*time.Millisecond)
+	})
+	e.Go("long", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Wait(p)
+		woken = true
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		if !q.Signal() {
+			t.Error("Signal found no live waiter")
+		}
+	})
+	e.Run()
+	if !woken {
+		t.Fatal("long waiter was not woken by the single Signal")
+	}
+}
+
+func TestWaitQueueBroadcast(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e, "q")
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			q.Wait(p)
+			woken++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Broadcast()
+	})
+	e.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestResourceCapacityAndFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 2)
+	active, maxActive := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("u", func(p *Proc) {
+			r.Acquire(p, 1)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(time.Millisecond)
+			active--
+			r.Release(1)
+		})
+	}
+	e.Run()
+	if maxActive != 2 {
+		t.Fatalf("max active = %d, want capacity 2", maxActive)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d at end, want 0", r.InUse())
+	}
+	// 6 jobs of 1ms at capacity 2 => busy for 3ms total.
+	if r.BusyTime() != 3*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 3ms", r.BusyTime())
+	}
+}
+
+func TestResourceLargeRequestNotStarved(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link", 4)
+	var bigDone time.Duration
+	e.Go("small-stream", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			r.Acquire(p, 1)
+			p.Sleep(time.Millisecond)
+			r.Release(1)
+		}
+	})
+	e.Go("big", func(p *Proc) {
+		p.Sleep(time.Microsecond) // arrive just after first small claim
+		r.Acquire(p, 4)
+		bigDone = p.Now()
+		r.Release(4)
+	})
+	e.Run()
+	// FIFO admission: big must get in right after the first small
+	// release, not after all ten.
+	if bigDone == 0 || bigDone > 2*time.Millisecond {
+		t.Fatalf("big request starved: done at %v", bigDone)
+	}
+}
+
+func TestGoFromWithinProc(t *testing.T) {
+	e := NewEngine()
+	childRan := false
+	e.Go("parent", func(p *Proc) {
+		e.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childRan = true
+		})
+		p.Sleep(5 * time.Millisecond)
+	})
+	e.Run()
+	if !childRan {
+		t.Fatal("child spawned from proc did not run")
+	}
+}
+
+func BenchmarkEngineSleepWake(b *testing.B) {
+	e := NewEngine()
+	e.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkMutexUncontended(b *testing.B) {
+	e := NewEngine()
+	m := NewMutex(e, "b")
+	e.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			m.Lock(p)
+			m.Unlock(p)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func TestGoexitInsideProcDoesNotDeadlockEngine(t *testing.T) {
+	// A test failure inside a simulated process calls runtime.Goexit;
+	// the engine must regain control instead of waiting forever.
+	e := NewEngine()
+	survived := false
+	e.Go("dying", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		runtime.Goexit()
+	})
+	e.Go("other", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		survived = true
+	})
+	e.Run()
+	if !survived {
+		t.Fatal("engine stalled after a Goexit in another proc")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d", e.LiveProcs())
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	e := NewEngine()
+	var target *Proc
+	target = e.Go("sleeper", func(p *Proc) {
+		p.Sleep(time.Hour) // schedules one wake already
+	})
+	panicked := false
+	e.Go("waker", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(time.Millisecond)
+		e.ScheduleWake(target) // second pending wake: must be rejected
+	})
+	e.RunUntil(time.Second)
+	if !panicked {
+		t.Fatal("double wake was not rejected")
+	}
+}
+
+func TestEventOrderProperty(t *testing.T) {
+	// Random callback schedules always fire in nondecreasing time order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var last time.Duration = -1
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := rng.Intn(5) + 1
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Microsecond
+				e.After(d, func() {
+					if e.Now() < last {
+						ok = false
+					}
+					last = e.Now()
+					if depth < 3 && rng.Intn(3) == 0 {
+						schedule(depth + 1) // nested scheduling
+					}
+				})
+			}
+		}
+		schedule(0)
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerObservesEventsWithoutChangingTime(t *testing.T) {
+	run := func(traced bool) (time.Duration, []TraceEvent) {
+		e := NewEngine()
+		var events []TraceEvent
+		if traced {
+			e.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+		}
+		e.After(time.Millisecond, func() {})
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(2 * time.Millisecond)
+		})
+		e.Run()
+		return e.Now(), events
+	}
+	plainEnd, _ := run(false)
+	tracedEnd, events := run(true)
+	if plainEnd != tracedEnd {
+		t.Fatalf("tracing changed virtual time: %v vs %v", plainEnd, tracedEnd)
+	}
+	var callbacks, resumes, finishes int
+	for _, ev := range events {
+		switch ev.Kind {
+		case TraceCallback:
+			callbacks++
+		case TraceResume:
+			resumes++
+			if ev.Proc != "worker" {
+				t.Fatalf("unexpected proc name %q", ev.Proc)
+			}
+		case TraceFinish:
+			finishes++
+		}
+	}
+	if callbacks != 1 || resumes != 2 || finishes != 1 {
+		t.Fatalf("trace counts: callbacks=%d resumes=%d finishes=%d", callbacks, resumes, finishes)
+	}
+}
+
+func TestTraceToWritesLines(t *testing.T) {
+	e := NewEngine()
+	var buf strings.Builder
+	e.TraceTo(&buf)
+	e.Go("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	e.Run()
+	out := buf.String()
+	if !strings.Contains(out, "resume") || !strings.Contains(out, "p#1") {
+		t.Fatalf("trace output missing fields:\n%s", out)
+	}
+}
+
+func TestLockStatsAverages(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex(e, "avg")
+	e.Go("a", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(4 * time.Millisecond)
+		m.Unlock(p)
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		m.Lock(p)
+		p.Sleep(2 * time.Millisecond)
+		m.Unlock(p)
+	})
+	e.Run()
+	s := m.Stats()
+	// Holds: 4ms + 2ms over 2 acquisitions = 3ms average.
+	if s.AvgHold() != 3*time.Millisecond {
+		t.Fatalf("AvgHold = %v", s.AvgHold())
+	}
+	// Waits: b waited 3ms; averaged over BOTH acquisitions = 1.5ms.
+	if s.AvgWait() != 1500*time.Microsecond {
+		t.Fatalf("AvgWait = %v", s.AvgWait())
+	}
+	if s.MaxWait != 3*time.Millisecond {
+		t.Fatalf("MaxWait = %v", s.MaxWait)
+	}
+	m.ResetStats()
+	if m.Stats().AvgHold() != 0 || m.Stats().AvgWait() != 0 {
+		t.Fatal("reset did not clear averages")
+	}
+}
+
+func TestMutexLockedAndWaiters(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex(e, "state")
+	e.Go("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(10 * time.Millisecond)
+		m.Unlock(p)
+	})
+	e.Go("observer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if !m.Locked() {
+			t.Error("mutex should be held")
+		}
+	})
+	e.Go("waiter", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		m.Lock(p)
+		m.Unlock(p)
+	})
+	e.Go("counter", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		if m.Waiters() != 1 {
+			t.Errorf("Waiters = %d, want 1", m.Waiters())
+		}
+	})
+	e.Run()
+	if m.Locked() {
+		t.Fatal("mutex should be free at the end")
+	}
+}

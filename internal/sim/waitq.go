@@ -1,0 +1,94 @@
+package sim
+
+import "time"
+
+// WaitQueue is a condition-variable-like primitive. Because only one
+// process runs at a time in virtual time, the usual lost-wakeup races
+// do not exist: callers re-check their condition in a loop around Wait.
+type WaitQueue struct {
+	eng     *Engine
+	name    string
+	waiters []*qWaiter
+}
+
+type qWaiter struct {
+	p     *Proc
+	woken bool // set when signalled or timed out; guards double wake
+}
+
+// NewWaitQueue creates a named wait queue on e.
+func NewWaitQueue(e *Engine, name string) *WaitQueue {
+	return &WaitQueue{eng: e, name: name}
+}
+
+// Wait parks p until Signal or Broadcast wakes it.
+func (q *WaitQueue) Wait(p *Proc) {
+	w := &qWaiter{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park()
+}
+
+// WaitTimeout parks p until signalled or until d elapses. It reports
+// whether the wait timed out.
+func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
+	w := &qWaiter{p: p}
+	q.waiters = append(q.waiters, w)
+	q.eng.After(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		q.remove(w)
+		p.wakeReason = wakeTimeout
+		q.eng.scheduleWake(p, q.eng.now)
+	})
+	return p.park() == wakeTimeout
+}
+
+// Signal wakes the oldest waiter, if any. It reports whether a waiter
+// was woken.
+func (q *WaitQueue) Signal() bool {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		q.eng.scheduleWake(w.p, q.eng.now)
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every current waiter.
+func (q *WaitQueue) Broadcast() {
+	for _, w := range q.waiters {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		q.eng.scheduleWake(w.p, q.eng.now)
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// Len returns the number of parked waiters.
+func (q *WaitQueue) Len() int {
+	n := 0
+	for _, w := range q.waiters {
+		if !w.woken {
+			n++
+		}
+	}
+	return n
+}
+
+func (q *WaitQueue) remove(target *qWaiter) {
+	for i, w := range q.waiters {
+		if w == target {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}

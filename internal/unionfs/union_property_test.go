@@ -1,0 +1,231 @@
+package unionfs
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// refModel is a naive flat-namespace oracle for the merged view of a
+// two-branch union: a map from path to size.
+type refModel struct {
+	files map[string]int64
+}
+
+func newRefModel(lower map[string]int64) *refModel {
+	m := &refModel{files: map[string]int64{}}
+	for p, s := range lower {
+		m.files[p] = s
+	}
+	return m
+}
+
+// TestUnionMatchesFlatModel drives random operation sequences against a
+// two-branch union and the flat oracle, comparing visible state after
+// every step.
+func TestUnionMatchesFlatModel(t *testing.T) {
+	paths := []string{"/f0", "/f1", "/f2", "/f3", "/f4", "/f5"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		cpus := cpu.New(eng, model.Default(), 2)
+		upper := memfs.New()
+		lower := memfs.New()
+		lowerFiles := map[string]int64{}
+		for _, p := range paths {
+			if rng.Intn(2) == 0 {
+				size := rng.Int63n(1 << 20)
+				lower.Provision(p, size)
+				lowerFiles[p] = size
+			}
+		}
+		u := New([]Branch{{FS: upper, Writable: true}, {FS: lower}}, Config{Kind: cpu.User})
+		ref := newRefModel(lowerFiles)
+
+		ok := true
+		eng.Go("driver", func(p *sim.Proc) {
+			ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(cpu.NewAccount("t"), 0)}
+			for step := 0; step < 120 && ok; step++ {
+				path := paths[rng.Intn(len(paths))]
+				switch rng.Intn(5) {
+				case 0: // create or overwrite-extend
+					n := rng.Int63n(1<<20) + 1
+					h, err := u.Open(ctx, path, vfsapi.CREATE|vfsapi.WRONLY)
+					if err != nil {
+						ok = false
+						t.Logf("seed %d step %d: create %s: %v", seed, step, path, err)
+						return
+					}
+					h.Write(ctx, 0, n)
+					h.Close(ctx)
+					if old, exists := ref.files[path]; !exists || n > old {
+						ref.files[path] = n
+					}
+				case 1: // append
+					n := rng.Int63n(4096) + 1
+					h, err := u.Open(ctx, path, vfsapi.WRONLY|vfsapi.APPEND)
+					if _, exists := ref.files[path]; !exists {
+						if !errors.Is(err, vfsapi.ErrNotExist) {
+							ok = false
+							t.Logf("seed %d step %d: append missing %s: %v", seed, step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						ok = false
+						t.Logf("seed %d step %d: append %s: %v", seed, step, path, err)
+						return
+					}
+					h.Append(ctx, n)
+					h.Close(ctx)
+					ref.files[path] += n
+				case 2: // truncate-rewrite
+					n := rng.Int63n(1 << 16)
+					h, err := u.Open(ctx, path, vfsapi.WRONLY|vfsapi.TRUNC)
+					if _, exists := ref.files[path]; !exists {
+						if !errors.Is(err, vfsapi.ErrNotExist) {
+							ok = false
+							t.Logf("seed %d step %d: trunc missing %s: %v", seed, step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						ok = false
+						t.Logf("seed %d step %d: trunc %s: %v", seed, step, path, err)
+						return
+					}
+					h.Write(ctx, 0, n)
+					h.Close(ctx)
+					ref.files[path] = n
+				case 3: // unlink
+					err := u.Unlink(ctx, path)
+					if _, exists := ref.files[path]; !exists {
+						if !errors.Is(err, vfsapi.ErrNotExist) {
+							ok = false
+							t.Logf("seed %d step %d: unlink missing %s: %v", seed, step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						ok = false
+						t.Logf("seed %d step %d: unlink %s: %v", seed, step, path, err)
+						return
+					}
+					delete(ref.files, path)
+				case 4: // rename
+					dst := paths[rng.Intn(len(paths))]
+					if dst == path {
+						continue
+					}
+					err := u.Rename(ctx, path, dst)
+					if _, exists := ref.files[path]; !exists {
+						if !errors.Is(err, vfsapi.ErrNotExist) {
+							ok = false
+							t.Logf("seed %d step %d: rename missing %s: %v", seed, step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						ok = false
+						t.Logf("seed %d step %d: rename %s->%s: %v", seed, step, path, dst, err)
+						return
+					}
+					ref.files[dst] = ref.files[path]
+					delete(ref.files, path)
+				}
+				if !checkView(t, ctx, u, ref, paths, seed, step) {
+					ok = false
+					return
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkView compares the union's visible namespace with the oracle.
+func checkView(t *testing.T, ctx vfsapi.Ctx, u *Union, ref *refModel, paths []string, seed int64, step int) bool {
+	for _, p := range paths {
+		info, err := u.Stat(ctx, p)
+		want, exists := ref.files[p]
+		switch {
+		case exists && err != nil:
+			t.Logf("seed %d step %d: %s should exist: %v", seed, step, p, err)
+			return false
+		case !exists && err == nil:
+			t.Logf("seed %d step %d: %s should not exist (size %d)", seed, step, p, info.Size)
+			return false
+		case exists && info.Size != want:
+			t.Logf("seed %d step %d: %s size %d want %d", seed, step, p, info.Size, want)
+			return false
+		}
+	}
+	// Readdir agrees with the oracle (ignoring whiteout artifacts).
+	ents, err := u.Readdir(ctx, "/")
+	if err != nil {
+		t.Logf("seed %d step %d: readdir: %v", seed, step, err)
+		return false
+	}
+	visible := map[string]bool{}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name, ".wh.") {
+			visible["/"+e.Name] = true
+		}
+	}
+	for p := range ref.files {
+		if !visible[p] {
+			t.Logf("seed %d step %d: %s missing from readdir %v", seed, step, p, ents)
+			return false
+		}
+	}
+	for p := range visible {
+		if _, exists := ref.files[p]; !exists {
+			t.Logf("seed %d step %d: phantom entry %s", seed, step, p)
+			return false
+		}
+	}
+	return true
+}
+
+// TestUnionReadSizesMatchModel verifies reads observe the merged sizes
+// after copy-up chains.
+func TestUnionReadSizesMatchModel(t *testing.T) {
+	eng := sim.NewEngine()
+	cpus := cpu.New(eng, model.Default(), 2)
+	upper := memfs.New()
+	lower := memfs.New()
+	lower.Provision("/data", 1<<20)
+	u := New([]Branch{{FS: upper, Writable: true}, {FS: lower}}, Config{Kind: cpu.User})
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(cpu.NewAccount("t"), 0)}
+		for i := 0; i < 5; i++ {
+			h, err := u.Open(ctx, "/data", vfsapi.WRONLY|vfsapi.APPEND)
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			h.Append(ctx, 1000)
+			h.Close(ctx)
+		}
+		h, _ := u.Open(ctx, "/data", vfsapi.RDONLY)
+		got, _ := h.Read(ctx, 0, 10<<20)
+		h.Close(ctx)
+		want := int64(1<<20 + 5000)
+		if got != want {
+			t.Errorf("read %d, want %d", got, want)
+		}
+	})
+	eng.Run()
+}

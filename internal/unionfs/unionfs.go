@@ -1,0 +1,422 @@
+// Package unionfs implements the union filesystem libservice: a stack
+// of branches with file-level copy-on-write and whiteouts, derived from
+// the Unionfs design the paper's AUFS and unionfs-fuse variants share.
+//
+// The same implementation is deployed three ways in the experiments:
+// inside the kernel below a Syscalls boundary (AUFS-like, K/K), behind
+// a FUSE transport (unionfs-fuse, F/K F/F FP/FP), and as a Danaus
+// libservice invoking the client libservice through plain function
+// calls (D) — no extra switches or copies between union and client.
+package unionfs
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/model"
+	"repro/internal/vfsapi"
+)
+
+// Branch is one layer of the union: a subtree of an underlying
+// filesystem. The first branch of a Union is the top; only it may be
+// writable.
+type Branch struct {
+	FS       vfsapi.FileSystem
+	Root     string // path prefix inside FS ("" = its root)
+	Writable bool
+}
+
+func (b Branch) full(path string) string {
+	if b.Root == "" || b.Root == "/" {
+		return path
+	}
+	return strings.TrimSuffix(b.Root, "/") + path
+}
+
+// Config configures a union instance.
+type Config struct {
+	// Kind selects whether union CPU is charged as kernel time (the
+	// AUFS deployment) or user time (unionfs-fuse and Danaus).
+	Kind cpu.TimeKind
+	// Params supplies the cost model.
+	Params *model.Params
+}
+
+// Union is a stacked union filesystem. It implements vfsapi.FileSystem.
+type Union struct {
+	branches  []Branch
+	whiteouts map[string]bool
+	// opaque marks directories recreated over a whiteout: lookups and
+	// listings below them ignore the lower branches entirely (the AUFS
+	// opaque-directory semantic).
+	opaque map[string]bool
+	kind   cpu.TimeKind
+	params *model.Params
+
+	copyUps     uint64
+	copyUpBytes int64
+}
+
+// New creates a union over the given branches (index 0 on top).
+func New(branches []Branch, cfg Config) *Union {
+	if len(branches) == 0 {
+		panic("unionfs: need at least one branch")
+	}
+	if cfg.Params == nil {
+		cfg.Params = model.Default()
+	}
+	for i, b := range branches {
+		if b.Writable && i != 0 {
+			panic("unionfs: only the top branch may be writable")
+		}
+	}
+	return &Union{
+		branches:  branches,
+		whiteouts: map[string]bool{},
+		opaque:    map[string]bool{},
+		kind:      cfg.Kind,
+		params:    cfg.Params,
+	}
+}
+
+// CopyUps returns the number of files copied to the top branch.
+func (u *Union) CopyUps() uint64 { return u.copyUps }
+
+// CopyUpBytes returns the bytes moved by copy-up operations.
+func (u *Union) CopyUpBytes() int64 { return u.copyUpBytes }
+
+func (u *Union) top() Branch { return u.branches[0] }
+
+func (u *Union) lookCost(ctx vfsapi.Ctx, branches int) {
+	ctx.T.Exec(ctx.P, u.kind, time.Duration(branches)*u.params.UnionLookupCost)
+}
+
+// resolve finds the topmost branch containing path. A whiteout hides
+// every lower occurrence, and an opaque ancestor directory cuts the
+// lower branches off entirely.
+func (u *Union) resolve(ctx vfsapi.Ctx, path string) (int, vfsapi.FileInfo, error) {
+	if u.whiteouts[path] {
+		u.lookCost(ctx, 1)
+		return -1, vfsapi.FileInfo{}, vfsapi.ErrNotExist
+	}
+	limit := len(u.branches)
+	if u.underOpaque(path) {
+		limit = 1 // only the top branch is visible
+	}
+	for i := 0; i < limit; i++ {
+		b := u.branches[i]
+		info, err := b.FS.Stat(ctx, b.full(path))
+		u.lookCost(ctx, 1)
+		if err == nil {
+			return i, info, nil
+		}
+		if !errors.Is(err, vfsapi.ErrNotExist) {
+			return -1, vfsapi.FileInfo{}, err
+		}
+	}
+	return -1, vfsapi.FileInfo{}, vfsapi.ErrNotExist
+}
+
+// underOpaque reports whether path or any of its ancestors is an
+// opaque directory.
+func (u *Union) underOpaque(path string) bool {
+	if len(u.opaque) == 0 {
+		return false
+	}
+	p := strings.TrimSuffix(path, "/")
+	for p != "" {
+		if u.opaque[p] {
+			return true
+		}
+		idx := strings.LastIndex(p, "/")
+		if idx <= 0 {
+			break
+		}
+		p = p[:idx]
+	}
+	return false
+}
+
+// ensureDirs creates path's ancestors in the top branch.
+func (u *Union) ensureDirs(ctx vfsapi.Ctx, path string) error {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	cur := ""
+	for _, part := range parts[:len(parts)-1] {
+		cur += "/" + part
+		err := u.top().FS.Mkdir(ctx, u.top().full(cur))
+		if err != nil && !errors.Is(err, vfsapi.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyUp moves path from branch src into the writable top branch,
+// chunk by chunk through the union (file-level copy-on-write). With
+// truncate set the data copy is skipped.
+func (u *Union) copyUp(ctx vfsapi.Ctx, path string, src int, size int64, truncate bool) error {
+	if !u.top().Writable {
+		return vfsapi.ErrReadOnly
+	}
+	if err := u.ensureDirs(ctx, path); err != nil {
+		return err
+	}
+	dst, err := u.top().FS.Open(ctx, u.top().full(path), vfsapi.CREATE|vfsapi.WRONLY)
+	if err != nil {
+		return err
+	}
+	defer dst.Close(ctx)
+	u.copyUps++
+	if truncate || size == 0 {
+		return nil
+	}
+	lower, err := u.branches[src].FS.Open(ctx, u.branches[src].full(path), vfsapi.RDONLY)
+	if err != nil {
+		return err
+	}
+	defer lower.Close(ctx)
+	chunk := u.params.CopyUpChunk
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := lower.Read(ctx, off, n); err != nil {
+			return err
+		}
+		if _, err := dst.Write(ctx, off, n); err != nil {
+			return err
+		}
+		u.copyUpBytes += n
+	}
+	return nil
+}
+
+// Open opens path, performing copy-up when a lower file is opened for
+// writing.
+func (u *Union) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	src, info, err := u.resolve(ctx, path)
+	switch {
+	case err == nil:
+		if info.IsDir {
+			return nil, vfsapi.ErrIsDir
+		}
+		if src == 0 || !flags.Writable() {
+			return u.branches[src].FS.Open(ctx, u.branches[src].full(path), flags)
+		}
+		// Writable open of a lower file: copy up, then open on top.
+		if err := u.copyUp(ctx, path, src, info.Size, flags.Has(vfsapi.TRUNC)); err != nil {
+			return nil, err
+		}
+		return u.top().FS.Open(ctx, u.top().full(path), flags&^vfsapi.CREATE)
+	case errors.Is(err, vfsapi.ErrNotExist) && flags.Has(vfsapi.CREATE):
+		if !u.top().Writable {
+			return nil, vfsapi.ErrReadOnly
+		}
+		if err := u.ensureDirs(ctx, path); err != nil {
+			return nil, err
+		}
+		delete(u.whiteouts, path)
+		return u.top().FS.Open(ctx, u.top().full(path), flags)
+	default:
+		return nil, err
+	}
+}
+
+// Stat resolves path through the branch stack.
+func (u *Union) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	_, info, err := u.resolve(ctx, path)
+	return info, err
+}
+
+// Mkdir creates a directory in the top branch.
+func (u *Union) Mkdir(ctx vfsapi.Ctx, path string) error {
+	if !u.top().Writable {
+		return vfsapi.ErrReadOnly
+	}
+	if _, _, err := u.resolve(ctx, path); err == nil {
+		return vfsapi.ErrExist
+	}
+	if err := u.ensureDirs(ctx, path); err != nil {
+		return err
+	}
+	wasWhiteout := u.whiteouts[path]
+	delete(u.whiteouts, path)
+	err := u.top().FS.Mkdir(ctx, u.top().full(path))
+	if errors.Is(err, vfsapi.ErrExist) {
+		err = nil // existed on top but was whited out
+	}
+	if err != nil {
+		return err
+	}
+	if wasWhiteout {
+		// Recreating a removed directory must not resurrect the lower
+		// branch's old contents: mark it opaque (AUFS .wh..wh..opq).
+		for i := 1; i < len(u.branches); i++ {
+			if _, statErr := u.branches[i].FS.Stat(ctx, u.branches[i].full(path)); statErr == nil {
+				u.opaque[path] = true
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Readdir merges the directory contents of every branch, hiding
+// whiteouts and deduplicating by name (top branch wins).
+func (u *Union) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	seen := map[string]vfsapi.DirEntry{}
+	found := false
+	prefix := strings.TrimSuffix(path, "/")
+	branches := u.branches
+	if u.underOpaque(path) {
+		branches = u.branches[:1]
+	}
+	for _, b := range branches {
+		ents, err := b.FS.Readdir(ctx, b.full(path))
+		u.lookCost(ctx, 1)
+		if errors.Is(err, vfsapi.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		found = true
+		for _, e := range ents {
+			child := prefix + "/" + e.Name
+			if u.whiteouts[child] {
+				continue
+			}
+			if _, ok := seen[e.Name]; !ok {
+				seen[e.Name] = e
+			}
+		}
+	}
+	if !found {
+		return nil, vfsapi.ErrNotExist
+	}
+	out := make([]vfsapi.DirEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Unlink removes path: deleted from the top branch if present there,
+// and whited out if it exists in any lower branch.
+func (u *Union) Unlink(ctx vfsapi.Ctx, path string) error {
+	src, info, err := u.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	if info.IsDir {
+		return vfsapi.ErrIsDir
+	}
+	if !u.top().Writable {
+		return vfsapi.ErrReadOnly
+	}
+	if src == 0 {
+		if err := u.top().FS.Unlink(ctx, u.top().full(path)); err != nil {
+			return err
+		}
+	}
+	// Hide any lower occurrence.
+	for i := 1; i < len(u.branches); i++ {
+		if _, err := u.branches[i].FS.Stat(ctx, u.branches[i].full(path)); err == nil {
+			u.whiteouts[path] = true
+			u.chargeWhiteout(ctx, path)
+			break
+		}
+	}
+	return nil
+}
+
+// chargeWhiteout pays for materializing a whiteout marker in the top
+// branch (a small create).
+func (u *Union) chargeWhiteout(ctx vfsapi.Ctx, path string) {
+	dir := path[:strings.LastIndex(path, "/")+1]
+	name := path[strings.LastIndex(path, "/")+1:]
+	whPath := u.top().full(dir + ".wh." + name)
+	if h, err := u.top().FS.Open(ctx, whPath, vfsapi.CREATE|vfsapi.WRONLY); err == nil {
+		h.Close(ctx)
+	}
+}
+
+// Rmdir removes a directory if the merged view shows it empty.
+func (u *Union) Rmdir(ctx vfsapi.Ctx, path string) error {
+	src, info, err := u.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return vfsapi.ErrNotDir
+	}
+	if !u.top().Writable {
+		return vfsapi.ErrReadOnly
+	}
+	ents, err := u.Readdir(ctx, path)
+	if err != nil {
+		return err
+	}
+	visible := 0
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name, ".wh.") {
+			visible++
+		}
+	}
+	if visible > 0 {
+		return vfsapi.ErrNotEmpty
+	}
+	if src == 0 {
+		if err := u.top().FS.Rmdir(ctx, u.top().full(path)); err != nil && !errors.Is(err, vfsapi.ErrNotEmpty) {
+			return err
+		}
+	}
+	for i := 1; i < len(u.branches); i++ {
+		if _, err := u.branches[i].FS.Stat(ctx, u.branches[i].full(path)); err == nil {
+			u.whiteouts[path] = true
+			break
+		}
+	}
+	return nil
+}
+
+// Rename implements rename as copy-up plus whiteout of the source
+// (the Unionfs strategy for cross-branch renames); same-branch renames
+// on the top branch pass through.
+func (u *Union) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	src, info, err := u.resolve(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	if !u.top().Writable {
+		return vfsapi.ErrReadOnly
+	}
+	lowerHasOld := false
+	for i := 1; i < len(u.branches); i++ {
+		if _, err := u.branches[i].FS.Stat(ctx, u.branches[i].full(oldPath)); err == nil {
+			lowerHasOld = true
+			break
+		}
+	}
+	if src == 0 && !lowerHasOld {
+		delete(u.whiteouts, newPath)
+		return u.top().FS.Rename(ctx, u.top().full(oldPath), u.top().full(newPath))
+	}
+	if src != 0 {
+		if err := u.copyUp(ctx, oldPath, src, info.Size, false); err != nil {
+			return err
+		}
+	}
+	delete(u.whiteouts, newPath)
+	if err := u.top().FS.Rename(ctx, u.top().full(oldPath), u.top().full(newPath)); err != nil {
+		return err
+	}
+	u.whiteouts[oldPath] = true
+	u.chargeWhiteout(ctx, oldPath)
+	return nil
+}

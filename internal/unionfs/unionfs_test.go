@@ -1,0 +1,368 @@
+package unionfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	cpus  *cpu.CPU
+	upper *memfs.FS
+	lower *memfs.FS
+	u     *Union
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	cpus := cpu.New(eng, model.Default(), 2)
+	upper := memfs.New()
+	lower := memfs.New()
+	u := New([]Branch{
+		{FS: upper, Writable: true},
+		{FS: lower},
+	}, Config{Kind: cpu.User})
+	return &rig{eng: eng, cpus: cpus, upper: upper, lower: lower, u: u}
+}
+
+func (r *rig) run(t *testing.T, fn func(ctx vfsapi.Ctx)) {
+	t.Helper()
+	r.eng.Go("test", func(p *sim.Proc) {
+		fn(vfsapi.Ctx{P: p, T: r.cpus.NewThread(cpu.NewAccount("t"), 0)})
+	})
+	r.eng.Run()
+}
+
+func TestLookupOrderTopWins(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/f", 100)
+	r.upper.Provision("/f", 200)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		info, err := r.u.Stat(ctx, "/f")
+		if err != nil || info.Size != 200 {
+			t.Fatalf("stat: %+v %v (top should win)", info, err)
+		}
+	})
+}
+
+func TestReadFromLowerBranch(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/ro", 1000)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.u.Open(ctx, "/ro", vfsapi.RDONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := h.Read(ctx, 0, 500); got != 500 {
+			t.Fatalf("read %d", got)
+		}
+		h.Close(ctx)
+	})
+	if r.lower.Reads != 1 || r.upper.Reads != 0 {
+		t.Fatalf("reads upper=%d lower=%d", r.upper.Reads, r.lower.Reads)
+	}
+	if r.u.CopyUps() != 0 {
+		t.Fatal("read-only open caused copy-up")
+	}
+}
+
+func TestWriteTriggersCopyUp(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/data", 5<<20)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.u.Open(ctx, "/data", vfsapi.WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(ctx, 0, 100)
+		h.Close(ctx)
+	})
+	if r.u.CopyUps() != 1 {
+		t.Fatalf("copyUps = %d", r.u.CopyUps())
+	}
+	if r.u.CopyUpBytes() != 5<<20 {
+		t.Fatalf("copyUpBytes = %d, want full 5MB", r.u.CopyUpBytes())
+	}
+	// Upper now holds the full file; lower untouched.
+	n, err := r.upper.Tree().Lookup("/data")
+	if err != nil || n.Size != 5<<20 {
+		t.Fatalf("upper copy: %v size=%d", err, n.Size)
+	}
+	ln, _ := r.lower.Tree().Lookup("/data")
+	if ln.Size != 5<<20 {
+		t.Fatal("lower modified by copy-up")
+	}
+}
+
+func TestTruncOpenSkipsDataCopy(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/data", 5<<20)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.u.Open(ctx, "/data", vfsapi.WRONLY|vfsapi.TRUNC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close(ctx)
+	})
+	if r.u.CopyUpBytes() != 0 {
+		t.Fatalf("TRUNC copy-up moved %d bytes", r.u.CopyUpBytes())
+	}
+}
+
+func TestAppendAfterCopyUpSeesFullFile(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/log", 1000)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		h, err := r.u.Open(ctx, "/log", vfsapi.WRONLY|vfsapi.APPEND)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, _ := h.Append(ctx, 50)
+		if off != 1000 {
+			t.Fatalf("append landed at %d, want 1000", off)
+		}
+		h.Close(ctx)
+		info, _ := r.u.Stat(ctx, "/log")
+		if info.Size != 1050 {
+			t.Fatalf("size = %d", info.Size)
+		}
+	})
+}
+
+func TestUnlinkLowerCreatesWhiteout(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/gone", 10)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.u.Unlink(ctx, "/gone"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.u.Stat(ctx, "/gone"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("stat after unlink: %v", err)
+		}
+		// Lower branch still has the file (read-only).
+		if _, err := r.lower.Tree().Lookup("/gone"); err != nil {
+			t.Fatal("lower branch file was removed")
+		}
+		// Whiteout marker materialized in the upper branch.
+		if _, err := r.upper.Tree().Lookup("/.wh.gone"); err != nil {
+			t.Fatal("whiteout marker not created in upper branch")
+		}
+	})
+}
+
+func TestCreateAfterWhiteout(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/f", 10)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		r.u.Unlink(ctx, "/f")
+		h, err := r.u.Open(ctx, "/f", vfsapi.CREATE|vfsapi.WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(ctx, 0, 77)
+		h.Close(ctx)
+		info, err := r.u.Stat(ctx, "/f")
+		if err != nil || info.Size != 77 {
+			t.Fatalf("recreated file: %+v %v (must be new, not lower's)", info, err)
+		}
+	})
+}
+
+func TestReaddirMergesAndHidesWhiteouts(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/d/a", 1)
+	r.lower.Provision("/d/b", 1)
+	r.upper.Provision("/d/b", 2) // shadow
+	r.upper.Provision("/d/c", 1)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		r.u.Unlink(ctx, "/d/a")
+		ents, err := r.u.Readdir(ctx, "/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name)
+		}
+		// a is whited out; .wh.a is an artifact of the upper branch and
+		// visible there, matching unionfs-fuse's hidden-file convention.
+		want := map[string]bool{"b": true, "c": true, ".wh.a": true}
+		for _, n := range names {
+			if !want[n] {
+				t.Fatalf("unexpected entry %q in %v", n, names)
+			}
+			delete(want, n)
+		}
+		if len(want) != 0 {
+			t.Fatalf("missing entries %v in %v", want, names)
+		}
+	})
+}
+
+func TestMkdirAndRmdir(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/d/x", 1)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.u.Mkdir(ctx, "/new"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.u.Mkdir(ctx, "/d"); !errors.Is(err, vfsapi.ErrExist) {
+			t.Fatalf("mkdir existing: %v", err)
+		}
+		if err := r.u.Rmdir(ctx, "/d"); !errors.Is(err, vfsapi.ErrNotEmpty) {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		r.u.Unlink(ctx, "/d/x")
+		if err := r.u.Rmdir(ctx, "/d"); err != nil {
+			t.Fatalf("rmdir emptied: %v", err)
+		}
+		if _, err := r.u.Stat(ctx, "/d"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("stat removed dir: %v", err)
+		}
+	})
+}
+
+func TestRenameLowerFile(t *testing.T) {
+	r := newRig(t)
+	r.lower.Provision("/old", 123)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.u.Rename(ctx, "/old", "/new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.u.Stat(ctx, "/old"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("old visible after rename: %v", err)
+		}
+		info, err := r.u.Stat(ctx, "/new")
+		if err != nil || info.Size != 123 {
+			t.Fatalf("new: %+v %v", info, err)
+		}
+	})
+	if r.u.CopyUps() != 1 {
+		t.Fatalf("cross-branch rename should copy up; copyUps=%d", r.u.CopyUps())
+	}
+}
+
+func TestRenameTopOnlyPassesThrough(t *testing.T) {
+	r := newRig(t)
+	r.upper.Provision("/only-top", 9)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		if err := r.u.Rename(ctx, "/only-top", "/renamed"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if r.u.CopyUps() != 0 {
+		t.Fatal("same-branch rename should not copy up")
+	}
+}
+
+func TestReadOnlyUnionRejectsWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	cpus := cpu.New(eng, model.Default(), 2)
+	lower := memfs.New()
+	lower.Provision("/f", 10)
+	u := New([]Branch{{FS: lower}}, Config{Kind: cpu.User})
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(cpu.NewAccount("t"), 0)}
+		if _, err := u.Open(ctx, "/g", vfsapi.CREATE|vfsapi.WRONLY); !errors.Is(err, vfsapi.ErrReadOnly) {
+			t.Errorf("create on ro union: %v", err)
+		}
+		if err := u.Mkdir(ctx, "/d"); !errors.Is(err, vfsapi.ErrReadOnly) {
+			t.Errorf("mkdir on ro union: %v", err)
+		}
+		if err := u.Unlink(ctx, "/f"); !errors.Is(err, vfsapi.ErrReadOnly) {
+			t.Errorf("unlink on ro union: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestBranchRootPrefix(t *testing.T) {
+	r := newRig(t)
+	shared := memfs.New()
+	shared.Provision("/images/base/bin/sh", 100)
+	u := New([]Branch{
+		{FS: r.upper, Root: "/containers/c1", Writable: true},
+		{FS: shared, Root: "/images/base"},
+	}, Config{Kind: cpu.User})
+	r.upper.Tree().MkdirAll("/containers/c1", 0)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		info, err := u.Stat(ctx, "/bin/sh")
+		if err != nil || info.Size != 100 {
+			t.Fatalf("prefixed lookup: %+v %v", info, err)
+		}
+		h, err := u.Open(ctx, "/bin/sh", vfsapi.WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close(ctx)
+		// Copy-up landed inside the upper prefix.
+		if _, err := r.upper.Tree().Lookup("/containers/c1/bin/sh"); err != nil {
+			t.Fatal("copy-up missed the branch root prefix")
+		}
+	})
+}
+
+func TestOnlyTopBranchWritablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for writable lower branch")
+		}
+	}()
+	New([]Branch{{FS: memfs.New()}, {FS: memfs.New(), Writable: true}}, Config{})
+}
+
+func TestOpaqueDirectoryAfterRecreate(t *testing.T) {
+	// Removing a directory and recreating it must not resurrect the
+	// lower branch's old contents (the AUFS opaque-directory rule).
+	r := newRig(t)
+	r.lower.Provision("/conf/old.cfg", 100)
+	r.lower.Provision("/conf/sub/deep.cfg", 100)
+	r.run(t, func(ctx vfsapi.Ctx) {
+		// Empty the merged directory, remove it, recreate it.
+		r.u.Unlink(ctx, "/conf/old.cfg")
+		r.u.Unlink(ctx, "/conf/sub/deep.cfg")
+		if err := r.u.Rmdir(ctx, "/conf/sub"); err != nil {
+			t.Fatalf("rmdir sub: %v", err)
+		}
+		if err := r.u.Rmdir(ctx, "/conf"); err != nil {
+			t.Fatalf("rmdir: %v", err)
+		}
+		if err := r.u.Mkdir(ctx, "/conf"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		// The lower files must NOT reappear.
+		if _, err := r.u.Stat(ctx, "/conf/old.cfg"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("lower file resurrected: %v", err)
+		}
+		if _, err := r.u.Stat(ctx, "/conf/sub/deep.cfg"); !errors.Is(err, vfsapi.ErrNotExist) {
+			t.Fatalf("deep lower file resurrected: %v", err)
+		}
+		ents, err := r.u.Readdir(ctx, "/conf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.Name == "old.cfg" || e.Name == "sub" {
+				t.Fatalf("resurrected entry %q in %v", e.Name, ents)
+			}
+		}
+		// New content inside the opaque dir works normally.
+		h, err := r.u.Open(ctx, "/conf/new.cfg", vfsapi.CREATE|vfsapi.WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(ctx, 0, 42)
+		h.Close(ctx)
+		info, err := r.u.Stat(ctx, "/conf/new.cfg")
+		if err != nil || info.Size != 42 {
+			t.Fatalf("new file in opaque dir: %+v %v", info, err)
+		}
+	})
+}

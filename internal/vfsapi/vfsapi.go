@@ -1,0 +1,114 @@
+// Package vfsapi defines the POSIX-like filesystem contract shared by
+// every client path in the simulation: the kernel CephFS client, the
+// FUSE clients, the union filesystems and the Danaus libservices all
+// implement FileSystem, so workloads are written once and run against
+// any configuration of Table 1.
+//
+// The simulation moves byte *counts*, not byte contents: reads and
+// writes carry sizes and offsets, and the model charges the copy,
+// cache, lock, network and device costs those sizes imply. Namespace
+// semantics (create, unlink, rename, whiteouts, copy-up) are modelled
+// exactly.
+package vfsapi
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Ctx carries the calling simulated thread through the stack: P is the
+// scheduling process and T the CPU thread (affinity + accounting).
+type Ctx struct {
+	P *sim.Proc
+	T *cpu.Thread
+}
+
+// OpenFlag is a bitmask of POSIX-like open flags.
+type OpenFlag int
+
+// Open flags. RDONLY is the zero value.
+const (
+	RDONLY OpenFlag = 0
+	WRONLY OpenFlag = 1 << iota
+	RDWR
+	CREATE
+	TRUNC
+	APPEND
+	// DIRECT bypasses the kernel page cache (the direct I/O mount
+	// option used for configurations F, F/K and F/F).
+	DIRECT
+)
+
+// Writable reports whether the flags permit writing.
+func (f OpenFlag) Writable() bool { return f&(WRONLY|RDWR|APPEND) != 0 }
+
+// Has reports whether flag o is set.
+func (f OpenFlag) Has(o OpenFlag) bool { return f&o != 0 }
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+	MTime time.Duration // virtual time of last modification
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// FileSystem is the POSIX-like interface of every client path.
+type FileSystem interface {
+	// Open opens (and with CREATE, creates) the file at path.
+	Open(ctx Ctx, path string, flags OpenFlag) (Handle, error)
+	// Stat returns metadata for path.
+	Stat(ctx Ctx, path string) (FileInfo, error)
+	// Mkdir creates a directory.
+	Mkdir(ctx Ctx, path string) error
+	// Readdir lists a directory.
+	Readdir(ctx Ctx, path string) ([]DirEntry, error)
+	// Unlink removes a file.
+	Unlink(ctx Ctx, path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(ctx Ctx, path string) error
+	// Rename moves oldPath to newPath.
+	Rename(ctx Ctx, oldPath, newPath string) error
+}
+
+// Handle is an open file.
+type Handle interface {
+	// Read transfers n bytes starting at off, returning the bytes
+	// actually read (short at EOF).
+	Read(ctx Ctx, off, n int64) (int64, error)
+	// Write transfers n bytes starting at off, extending the file as
+	// needed.
+	Write(ctx Ctx, off, n int64) (int64, error)
+	// Append writes n bytes at the current end of file and returns the
+	// offset written at.
+	Append(ctx Ctx, n int64) (int64, error)
+	// Fsync persists buffered data for this file to the backend.
+	Fsync(ctx Ctx) error
+	// Close releases the handle.
+	Close(ctx Ctx) error
+	// Size returns the current file size as seen by this client.
+	Size() int64
+	// Path returns the path the handle was opened with.
+	Path() string
+}
+
+// Errors returned by FileSystem implementations.
+var (
+	ErrNotExist = errors.New("file does not exist")
+	ErrExist    = errors.New("file already exists")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotDir   = errors.New("not a directory")
+	ErrNotEmpty = errors.New("directory not empty")
+	ErrReadOnly = errors.New("read-only filesystem")
+	ErrBadFlags = errors.New("invalid open flags")
+	ErrClosed   = errors.New("handle is closed")
+)

@@ -1,0 +1,48 @@
+package vfsapi
+
+import "testing"
+
+func TestOpenFlagWritable(t *testing.T) {
+	cases := []struct {
+		flags OpenFlag
+		want  bool
+	}{
+		{RDONLY, false},
+		{WRONLY, true},
+		{RDWR, true},
+		{APPEND, true},
+		{CREATE, false}, // create alone is not a write grant
+		{WRONLY | TRUNC, true},
+		{RDONLY | DIRECT, false},
+	}
+	for _, c := range cases {
+		if got := c.flags.Writable(); got != c.want {
+			t.Errorf("Writable(%b) = %v, want %v", c.flags, got, c.want)
+		}
+	}
+}
+
+func TestOpenFlagHas(t *testing.T) {
+	f := CREATE | WRONLY | DIRECT
+	for _, present := range []OpenFlag{CREATE, WRONLY, DIRECT} {
+		if !f.Has(present) {
+			t.Errorf("flag %b should be present", present)
+		}
+	}
+	for _, absent := range []OpenFlag{TRUNC, APPEND, RDWR} {
+		if f.Has(absent) {
+			t.Errorf("flag %b should be absent", absent)
+		}
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrNotEmpty, ErrReadOnly, ErrBadFlags, ErrClosed}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && a == b {
+				t.Errorf("errors %d and %d alias", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// FileAppend is the paper's custom Fileappend benchmark (Fig 11a): open
+// a large existing file in O_WRONLY|O_APPEND, write AppendBytes and
+// close. Over a union filesystem the open triggers a full file-level
+// copy-up, so the generated I/O is roughly 50/50 read/write.
+type FileAppend struct {
+	FS          vfsapi.FileSystem
+	Path        string
+	AppendBytes int64
+	NewThread   func() *cpu.Thread
+
+	Stats *Stats
+}
+
+// Run performs the append on one container thread.
+func (w *FileAppend) Run(g *Group, clock Clock) {
+	if w.AppendBytes == 0 {
+		w.AppendBytes = 1 << 20
+	}
+	g.Go("fileappend", func(p *sim.Proc) {
+		th := w.NewThread()
+		ctx := ctxFor(p, th)
+		start := clock.Eng.Now()
+		h, err := w.FS.Open(ctx, w.Path, vfsapi.WRONLY|vfsapi.APPEND)
+		if err != nil {
+			w.Stats.Errors++
+			return
+		}
+		h.Append(ctx, w.AppendBytes)
+		h.Close(ctx)
+		w.Stats.Record(w.AppendBytes, clock.Eng.Now()-start)
+	})
+}
+
+// FileRead is the paper's custom Fileread benchmark (Fig 11b): open a
+// large file read-only and stream it in 1 MB blocks.
+type FileRead struct {
+	FS        vfsapi.FileSystem
+	Path      string
+	BlockSize int64
+	NewThread func() *cpu.Thread
+
+	Stats *Stats
+}
+
+// Run performs the sequential read on one container thread.
+func (w *FileRead) Run(g *Group, clock Clock) {
+	if w.BlockSize == 0 {
+		w.BlockSize = 1 << 20
+	}
+	g.Go("fileread", func(p *sim.Proc) {
+		th := w.NewThread()
+		ctx := ctxFor(p, th)
+		start := clock.Eng.Now()
+		h, err := w.FS.Open(ctx, w.Path, vfsapi.RDONLY)
+		if err != nil {
+			w.Stats.Errors++
+			return
+		}
+		var total int64
+		size := h.Size()
+		for off := int64(0); off < size; off += w.BlockSize {
+			got, _ := h.Read(ctx, off, w.BlockSize)
+			total += got
+			if got == 0 {
+				break
+			}
+		}
+		h.Close(ctx)
+		w.Stats.Record(total, clock.Eng.Now()-start)
+	})
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// Startup emulates starting a Lighttpd-style webserver container
+// (Fig 8): the exec of the initial command and the mmap of its dynamic
+// libraries generate kernel-initiated I/O on the LEGACY path, while the
+// preparation of application files (config reads, pid file, logs) uses
+// the default path.
+type Startup struct {
+	// Default and Legacy are the container's two interfaces.
+	Default vfsapi.FileSystem
+	Legacy  vfsapi.FileSystem
+	// Params supplies the startup traffic sizes.
+	Params *model.Params
+	// NewThread supplies the container's init thread.
+	NewThread func() *cpu.Thread
+
+	Stats *Stats
+}
+
+// ProvisionImage creates the binary, libraries and config files a
+// startup expects, under dir in the shared cluster namespace. provision
+// is a zero-cost file creator (e.g. Cluster.Provision).
+func ProvisionImage(params *model.Params, dir string, provision func(path string, size int64) error) error {
+	if err := provision(dir+"/usr/sbin/lighttpd", params.ExecBinaryBytes); err != nil {
+		return err
+	}
+	nLibs := 6
+	per := params.MmapLibraryBytes / int64(nLibs)
+	for i := 0; i < nLibs; i++ {
+		if err := provision(fmt.Sprintf("%s/usr/lib/lib%02d.so", dir, i), per); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < params.StartupOpCount; i++ {
+		if err := provision(fmt.Sprintf("%s/etc/lighttpd/conf%02d", dir, i), 2<<10); err != nil {
+			return err
+		}
+	}
+	if err := provision(dir+"/var/www/index.html", params.StartupAppFileBytes); err != nil {
+		return err
+	}
+	// Runtime directories for the pid file and log.
+	if err := provision(dir+"/var/run/.keep", 0); err != nil {
+		return err
+	}
+	return provision(dir+"/var/log/.keep", 0)
+}
+
+// Run starts one container and records the startup latency.
+func (w *Startup) Run(g *Group, clock Clock) {
+	g.Go("startup", func(p *sim.Proc) { w.startOne(p, clock) })
+}
+
+func (w *Startup) startOne(p *sim.Proc, clock Clock) {
+	th := w.NewThread()
+	ctx := ctxFor(p, th)
+	params := w.Params
+	start := clock.Eng.Now()
+
+	// exec(2): the kernel reads the program image — legacy path.
+	w.readWhole(ctx, w.Legacy, "/usr/sbin/lighttpd", 128<<10)
+
+	// mmap(2) of the dynamic libraries — legacy path, page-sized faults
+	// batched by readahead.
+	for i := 0; i < 6; i++ {
+		w.readWhole(ctx, w.Legacy, fmt.Sprintf("/usr/lib/lib%02d.so", i), 128<<10)
+	}
+
+	// Configuration parsing — user-level calls on the default path.
+	for i := 0; i < params.StartupOpCount; i++ {
+		path := fmt.Sprintf("/etc/lighttpd/conf%02d", i)
+		if _, err := w.Default.Stat(ctx, path); err != nil {
+			w.Stats.Errors++
+			continue
+		}
+		w.readWhole(ctx, w.Default, path, 4<<10)
+	}
+
+	// Application file preparation: document root scan + pid + log.
+	w.readWhole(ctx, w.Default, "/var/www/index.html", 128<<10)
+	if h, err := w.Default.Open(ctx, "/var/run/lighttpd.pid", vfsapi.CREATE|vfsapi.WRONLY); err == nil {
+		h.Write(ctx, 0, 16)
+		h.Close(ctx)
+	} else {
+		w.Stats.Errors++
+	}
+	if h, err := w.Default.Open(ctx, "/var/log/lighttpd.log", vfsapi.CREATE|vfsapi.APPEND); err == nil {
+		h.Append(ctx, 4<<10)
+		h.Close(ctx)
+	} else {
+		w.Stats.Errors++
+	}
+
+	w.Stats.Record(0, clock.Eng.Now()-start)
+}
+
+func (w *Startup) readWhole(ctx vfsapi.Ctx, fs vfsapi.FileSystem, path string, chunk int64) {
+	h, err := fs.Open(ctx, path, vfsapi.RDONLY)
+	if err != nil {
+		w.Stats.Errors++
+		return
+	}
+	size := h.Size()
+	for off := int64(0); off < size; off += chunk {
+		if got, _ := h.Read(ctx, off, chunk); got == 0 {
+			break
+		}
+	}
+	h.Close(ctx)
+}

@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Sysbench emulates the Sysbench CPU benchmark: threads compute prime
+// numbers in fixed-size events and report per-event latency. It touches
+// no filesystem — in the paper it demonstrates that even pure
+// computation suffers when the kernel serves a neighbour's I/O with the
+// pool's cores (Fig 6c).
+type Sysbench struct {
+	Threads   int
+	EventCPU  time.Duration // pure computation per event
+	NewThread func() *cpu.Thread
+
+	Stats *Stats
+}
+
+// Defaults fills unset fields (paper: 2 threads, 64-bit prime search).
+func (w *Sysbench) Defaults() {
+	if w.Threads == 0 {
+		w.Threads = 2
+	}
+	if w.EventCPU == 0 {
+		w.EventCPU = time.Millisecond
+	}
+	if w.Stats == nil {
+		w.Stats = NewStats()
+	}
+}
+
+// Run spawns the compute threads.
+func (w *Sysbench) Run(g *Group, clock Clock) {
+	for t := 0; t < w.Threads; t++ {
+		g.Go("sysbench", func(p *sim.Proc) { w.worker(p, clock) })
+	}
+}
+
+func (w *Sysbench) worker(p *sim.Proc, clock Clock) {
+	th := w.NewThread()
+	for !clock.Done() {
+		start := clock.Eng.Now()
+		th.Exec(p, cpu.User, w.EventCPU)
+		if clock.Measuring() {
+			// Latency of the event includes any time spent waiting for
+			// a core occupied by foreign kernel work.
+			w.Stats.Record(0, clock.Eng.Now()-start)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/kvstore"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	cpus *cpu.CPU
+	mem  *memfs.FS
+	acct *cpu.Account
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	return &rig{
+		eng:  eng,
+		cpus: cpu.New(eng, model.Default(), 4),
+		mem:  memfs.New(),
+		acct: cpu.NewAccount("wl"),
+	}
+}
+
+func (r *rig) newThread() *cpu.Thread { return r.cpus.NewThread(r.acct, 0) }
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.eng.Go("driver", fn)
+	r.eng.Run()
+	if r.eng.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", r.eng.LiveProcs())
+	}
+}
+
+func (r *rig) clock(warm, dur time.Duration) Clock {
+	return Clock{Eng: r.eng, From: warm, Stop: warm + dur}
+}
+
+func TestGroupWaitsForAllThreads(t *testing.T) {
+	r := newRig(t)
+	done := 0
+	r.run(t, func(p *sim.Proc) {
+		g := NewGroup(r.eng)
+		for i := 0; i < 5; i++ {
+			i := i
+			g.Go("w", func(pp *sim.Proc) {
+				pp.Sleep(time.Duration(i+1) * time.Millisecond)
+				done++
+			})
+		}
+		g.Wait(p)
+		if done != 5 {
+			t.Errorf("Wait returned before all threads: %d", done)
+		}
+	})
+}
+
+func TestClockWindows(t *testing.T) {
+	r := newRig(t)
+	c := Clock{Eng: r.eng, From: 10 * time.Millisecond, Stop: 30 * time.Millisecond}
+	r.run(t, func(p *sim.Proc) {
+		if c.Measuring() || c.Done() {
+			t.Error("warmup misclassified")
+		}
+		p.Sleep(15 * time.Millisecond)
+		if !c.Measuring() || c.Done() {
+			t.Error("window misclassified")
+		}
+		p.Sleep(20 * time.Millisecond)
+		if c.Measuring() || !c.Done() {
+			t.Error("end misclassified")
+		}
+	})
+	if c.Window() != 20*time.Millisecond {
+		t.Fatalf("Window = %v", c.Window())
+	}
+}
+
+func TestFileserverRunsMixAndRecords(t *testing.T) {
+	r := newRig(t)
+	r.mem.OpDelay = 100 * time.Microsecond // advance virtual time per op
+	w := &Fileserver{
+		FS: r.mem, Dir: "/fls", Threads: 4, Files: 10,
+		MeanFileSize: 256 << 10, NewThread: r.newThread, Seed: 1,
+	}
+	w.Defaults(0.02)
+	r.run(t, func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+		if err := w.Prepare(ctx); err != nil {
+			t.Fatal(err)
+		}
+		g := NewGroup(r.eng)
+		w.Run(g, r.clock(0, 200*time.Millisecond))
+		g.Wait(p)
+	})
+	if w.Stats.Ops.Ops == 0 || w.Stats.Ops.Bytes == 0 {
+		t.Fatal("fileserver recorded nothing")
+	}
+	if r.mem.Writes == 0 || r.mem.Reads == 0 {
+		t.Fatal("fileserver did not mix reads and writes")
+	}
+	if w.Stats.Errors > w.Stats.Ops.Ops/10 {
+		t.Fatalf("too many errors: %d of %d", w.Stats.Errors, w.Stats.Ops.Ops)
+	}
+}
+
+func TestWebserverIsReadDominated(t *testing.T) {
+	r := newRig(t)
+	r.mem.OpDelay = 100 * time.Microsecond
+	w := &Webserver{
+		FS: r.mem, Dir: "/web", Threads: 4, Files: 50,
+		NewThread: r.newThread, Seed: 2,
+	}
+	w.Defaults(0.001)
+	r.run(t, func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+		if err := w.Prepare(ctx); err != nil {
+			t.Fatal(err)
+		}
+		reads0, writes0 := r.mem.Reads, r.mem.Writes
+		g := NewGroup(r.eng)
+		w.Run(g, r.clock(0, 100*time.Millisecond))
+		g.Wait(p)
+		reads, writes := r.mem.Reads-reads0, r.mem.Writes-writes0
+		if reads < 5*writes {
+			t.Fatalf("webserver should be read-dominated: %d reads, %d writes", reads, writes)
+		}
+	})
+}
+
+func TestSeqIOWriteAndRead(t *testing.T) {
+	for _, write := range []bool{true, false} {
+		r := newRig(t)
+		r.mem.OpDelay = 50 * time.Microsecond
+		w := &SeqIO{
+			FS: r.mem, Dir: "/seq", Threads: 2, FileSize: 8 << 20,
+			Write: write, NewThread: r.newThread,
+		}
+		w.Defaults(0.01)
+		r.run(t, func(p *sim.Proc) {
+			ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+			if err := w.Prepare(ctx); err != nil {
+				t.Fatal(err)
+			}
+			g := NewGroup(r.eng)
+			w.Run(g, r.clock(0, 50*time.Millisecond))
+			g.Wait(p)
+		})
+		if w.Stats.Ops.Bytes == 0 {
+			t.Fatalf("seqio write=%v moved no bytes", write)
+		}
+	}
+}
+
+func TestRandomIOPreparesPerThreadFiles(t *testing.T) {
+	r := newRig(t)
+	w := &RandomIO{
+		FS: r.mem, Path: "/rnd", Threads: 2, FileSize: 4 << 20,
+		NewThread: r.newThread, Seed: 3,
+	}
+	w.Defaults(0.01)
+	r.run(t, func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+		if err := w.Prepare(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for tid := 0; tid < 2; tid++ {
+			if _, err := r.mem.Stat(ctx, w.pathFor(tid)); err != nil {
+				t.Fatalf("missing per-thread file %d: %v", tid, err)
+			}
+		}
+		g := NewGroup(r.eng)
+		w.Run(g, r.clock(0, 20*time.Millisecond))
+		g.Wait(p)
+	})
+	if w.Stats.Ops.Ops == 0 {
+		t.Fatal("randio performed no ops")
+	}
+}
+
+func TestSysbenchLatencyReflectsContention(t *testing.T) {
+	// Alone: each 1ms event completes in ~1ms. With a core hog on the
+	// same cores, p99 inflates.
+	run := func(withHog bool) time.Duration {
+		r := newRig(t)
+		w := &Sysbench{Threads: 2, NewThread: func() *cpu.Thread {
+			return r.cpus.NewThread(r.acct, cpu.MaskOf(0, 1))
+		}}
+		w.Defaults()
+		if withHog {
+			for i := 0; i < 2; i++ {
+				r.eng.Go("hog", func(p *sim.Proc) {
+					th := r.cpus.NewThread(cpu.NewAccount("hog"), cpu.MaskOf(0, 1))
+					th.Exec(p, cpu.User, 300*time.Millisecond)
+				})
+			}
+		}
+		r.run(t, func(p *sim.Proc) {
+			g := NewGroup(r.eng)
+			w.Run(g, r.clock(0, 100*time.Millisecond))
+			g.Wait(p)
+		})
+		return w.Stats.Latency.Quantile(0.99)
+	}
+	alone := run(false)
+	contended := run(true)
+	if contended < 3*alone/2 {
+		t.Fatalf("contention did not inflate SSB p99: %v vs %v", contended, alone)
+	}
+}
+
+func TestStartupTouchesBothPaths(t *testing.T) {
+	r := newRig(t)
+	params := model.Default()
+	legacy := memfs.New()
+	def := memfs.New()
+	provision := func(fs *memfs.FS) func(string, int64) error {
+		return func(path string, size int64) error { return fs.Provision(path, size) }
+	}
+	if err := ProvisionImage(params, "", provision(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProvisionImage(params, "", provision(def)); err != nil {
+		t.Fatal(err)
+	}
+	w := &Startup{
+		Default: def, Legacy: legacy, Params: params,
+		NewThread: r.newThread, Stats: NewStats(),
+	}
+	r.run(t, func(p *sim.Proc) {
+		g := NewGroup(r.eng)
+		w.Run(g, Clock{Eng: r.eng})
+		g.Wait(p)
+	})
+	if w.Stats.Errors != 0 {
+		t.Fatalf("startup had %d errors", w.Stats.Errors)
+	}
+	if legacy.Reads == 0 {
+		t.Fatal("startup never used the legacy path (exec/mmap)")
+	}
+	if def.Writes == 0 {
+		t.Fatal("startup never wrote through the default path (pid/log)")
+	}
+	if w.Stats.Latency.Count() != 1 {
+		t.Fatalf("startup latency samples = %d", w.Stats.Latency.Count())
+	}
+}
+
+func TestFileAppendAndRead(t *testing.T) {
+	r := newRig(t)
+	r.mem.Provision("/blob", 4<<20)
+	ap := &FileAppend{FS: r.mem, Path: "/blob", NewThread: r.newThread, Stats: NewStats()}
+	rd := &FileRead{FS: r.mem, Path: "/blob", NewThread: r.newThread, Stats: NewStats()}
+	r.run(t, func(p *sim.Proc) {
+		g := NewGroup(r.eng)
+		ap.Run(g, Clock{Eng: r.eng})
+		g.Wait(p)
+		g2 := NewGroup(r.eng)
+		rd.Run(g2, Clock{Eng: r.eng})
+		g2.Wait(p)
+	})
+	if ap.Stats.Ops.Bytes != 1<<20 {
+		t.Fatalf("append moved %d", ap.Stats.Ops.Bytes)
+	}
+	// Read sees the appended size.
+	if rd.Stats.Ops.Bytes != 4<<20+1<<20 {
+		t.Fatalf("read moved %d, want full appended file", rd.Stats.Ops.Bytes)
+	}
+}
+
+func TestKVPutGetWorkloads(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+		db, err := openTestDB(ctx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		put := &KVPut{DB: db, TotalBytes: 8 << 20, ValueSize: 128 << 10, NewThread: r.newThread, Seed: 4}
+		put.Defaults(0.001)
+		g := NewGroup(r.eng)
+		put.Run(g, Clock{Eng: r.eng})
+		g.Wait(p)
+		if put.Stats.Ops.Ops == 0 || put.Stats.Errors != 0 {
+			t.Fatalf("puts: %d ops %d errors", put.Stats.Ops.Ops, put.Stats.Errors)
+		}
+
+		keys, err := Populate(ctx, db, 4<<20, 128<<10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := &KVGet{DB: db, Keys: keys, TotalBytes: 4 << 20, ValueSize: 128 << 10, NewThread: r.newThread, Seed: 6}
+		get.Defaults(0.001)
+		g2 := NewGroup(r.eng)
+		get.Run(g2, Clock{Eng: r.eng})
+		g2.Wait(p)
+		if get.Stats.Ops.Ops == 0 {
+			t.Fatal("gets recorded nothing")
+		}
+		db.Close(ctx)
+	})
+}
+
+func TestStatsThroughput(t *testing.T) {
+	s := NewStats()
+	s.Record(1<<20, time.Millisecond)
+	s.Record(1<<20, 3*time.Millisecond)
+	if got := s.ThroughputMBps(2 * time.Second); got != 1 {
+		t.Fatalf("ThroughputMBps = %v", got)
+	}
+	if s.Latency.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean latency = %v", s.Latency.Mean())
+	}
+}
+
+// openTestDB opens a kvstore on the rig's memfs.
+func openTestDB(ctx vfsapi.Ctx, r *rig) (*kvstore.DB, error) {
+	return kvstore.Open(ctx, kvstore.Config{
+		FS: r.mem, Dir: "/db", MemtableBytes: 2 << 20,
+		Eng: r.eng, NewThread: r.newThread,
+	})
+}
