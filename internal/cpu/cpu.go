@@ -10,6 +10,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/model"
@@ -26,6 +27,12 @@ type CPU struct {
 	all     Mask
 	groupSz int
 	scanRR  int // rotating scan start spreads load across idle cores
+
+	// runPool recycles execRun states (and their step closures) across
+	// coalesced Exec calls, keeping the scheduler hot path free of
+	// per-call allocations. Safe without locking: exactly one goroutine
+	// runs at any instant in the simulation.
+	runPool []*execRun
 }
 
 type coreState struct {
@@ -114,21 +121,138 @@ func (t *Thread) Account() *Account { return t.acct }
 // Exec consumes d of CPU time of kind k on a core within the thread's
 // affinity mask, waiting FIFO for a core when all are busy and yielding
 // the core every scheduler quantum.
+//
+// Multi-quantum runs are coalesced: the process parks once and the
+// per-quantum bookkeeping (charging, release, re-acquire) runs as
+// engine-loop callbacks, so an uncontended 10ms Exec costs one
+// park/resume round trip instead of one per quantum. The callbacks
+// mirror the slice-per-quantum loop event for event — see the execRun
+// invariants — so virtual-time results are bit-identical.
 func (t *Thread) Exec(p *sim.Proc, k TimeKind, d time.Duration) {
-	c := t.cpu
-	for d > 0 {
-		core := c.acquire(p, t)
-		slice := c.params.Quantum
-		if d < slice {
-			slice = d
-		}
-		p.Sleep(slice)
-		c.cores[core].busyTime += slice
-		t.acct.addTime(k, slice)
-		t.lastCore = core
-		c.release(core)
-		d -= slice
+	if d <= 0 {
+		return
 	}
+	c := t.cpu
+	core := c.acquire(p, t)
+	if d > c.params.Quantum {
+		c.runCoalesced(p, t, k, core, d)
+		return
+	}
+	p.Sleep(d)
+	c.cores[core].busyTime += d
+	t.acct.addTime(k, d)
+	t.lastCore = core
+	c.release(core)
+}
+
+// execRun drives one coalesced multi-quantum Exec. The owning process
+// parks once; per-quantum bookkeeping fires as engine callbacks via
+// step. The chain is constructed to be event-for-event identical to the
+// historical acquire/Sleep(quantum)/release loop: at every point where
+// that loop pushed exactly one engine event (the next Sleep wake, or a
+// waiter handoff inside release), the chain pushes exactly one event of
+// the same timestamp at the same position in engine seq order. Because
+// the event heap breaks timestamp ties by seq, this preserves the
+// simulation's event interleaving — and therefore its virtual-time
+// results — bit for bit.
+type execRun struct {
+	c     *CPU
+	p     *sim.Proc
+	t     *Thread
+	kind  TimeKind
+	core  int
+	d     time.Duration // remaining work, including the in-flight slice
+	slice time.Duration // length of the in-flight slice
+	final bool          // in-flight slice is the last: its wake resumes p
+	lost  bool          // core lost at a boundary: p queued in c.waiters
+	w     waiter        // reusable waiter record for the lost case
+	step  func()        // reusable boundary callback (captures this run)
+}
+
+// runCoalesced executes the remaining d (> one quantum) of work for t
+// on the already-acquired core, parking p until the work is consumed.
+func (c *CPU) runCoalesced(p *sim.Proc, t *Thread, k TimeKind, core int, d time.Duration) {
+	r := c.getRun()
+	r.p, r.t, r.kind, r.core, r.d = p, t, k, core, d
+	r.final, r.lost = false, false
+	r.slice = c.params.Quantum
+	c.eng.After(r.slice, r.step) // same push the old loop's first Sleep made
+	for {
+		p.Park()
+		if r.lost {
+			// A boundary callback lost the core; a release just handed
+			// us a new one. Mirror the old loop's post-acquire path.
+			r.lost = false
+			r.core = r.w.assigned
+			if r.d > c.params.Quantum {
+				r.slice = c.params.Quantum
+				c.eng.After(r.slice, r.step)
+				continue
+			}
+			r.final = true
+			r.slice = r.d
+			c.eng.ScheduleWakeAfter(p, r.slice)
+			continue
+		}
+		// Final wake: charge the last slice and release, exactly as the
+		// old loop's last iteration did after its Sleep returned.
+		c.cores[r.core].busyTime += r.slice
+		t.acct.addTime(k, r.slice)
+		t.lastCore = r.core
+		c.release(r.core)
+		break
+	}
+	c.putRun(r)
+}
+
+// fire is the per-quantum boundary callback of a coalesced run: charge
+// the completed slice, then replay release + re-acquire. It performs
+// the same state mutations and event pushes, in the same order, as one
+// iteration of the historical Exec loop.
+func (r *execRun) fire() {
+	c := r.c
+	c.cores[r.core].busyTime += r.slice
+	r.t.acct.addTime(r.kind, r.slice)
+	r.t.lastCore = r.core
+	r.d -= r.slice
+	c.release(r.core)
+	core, ok := c.tryAcquire(r.t)
+	if !ok {
+		// Preempted: queue FIFO exactly where the old loop's acquire
+		// would have parked. A later release wakes p with the core.
+		r.lost = true
+		r.w = waiter{p: r.p, th: r.t, assigned: -1}
+		c.waiters = append(c.waiters, &r.w)
+		return
+	}
+	r.core = core
+	if r.d > c.params.Quantum {
+		r.slice = c.params.Quantum
+		c.eng.After(r.slice, r.step)
+		return
+	}
+	// Last slice: hand its wake to the parked process so the run ends
+	// with the same proc-resume event the old loop's final Sleep pushed.
+	r.final = true
+	r.slice = r.d
+	c.eng.ScheduleWakeAfter(r.p, r.slice)
+}
+
+func (c *CPU) getRun() *execRun {
+	if n := len(c.runPool); n > 0 {
+		r := c.runPool[n-1]
+		c.runPool = c.runPool[:n-1]
+		return r
+	}
+	r := &execRun{c: c}
+	r.step = r.fire
+	return r
+}
+
+func (c *CPU) putRun(r *execRun) {
+	r.p, r.t = nil, nil
+	r.w = waiter{}
+	c.runPool = append(c.runPool, r)
 }
 
 // ExecBytes consumes CPU time equivalent to processing n bytes at the
@@ -153,29 +277,47 @@ func (t *Thread) ContextSwitch(p *sim.Proc) {
 // none is available. Released cores are handed directly to the oldest
 // compatible waiter, so admission order is preserved.
 func (c *CPU) acquire(p *sim.Proc, t *Thread) int {
-	// Fast path: sticky core, then a rotating scan so unpinned threads
-	// (e.g. kernel flushers) spread across every idle core of the host
-	// instead of clustering on the lowest-numbered ones.
-	if t.lastCore >= 0 && t.mask.Has(t.lastCore) && !c.cores[t.lastCore].busy {
-		c.cores[t.lastCore].busy = true
-		return t.lastCore
-	}
-	eligible := t.mask.Cores()
-	if len(eligible) > 0 {
-		start := c.scanRR % len(eligible)
-		c.scanRR++
-		for i := 0; i < len(eligible); i++ {
-			core := eligible[(start+i)%len(eligible)]
-			if !c.cores[core].busy {
-				c.cores[core].busy = true
-				return core
-			}
-		}
+	if core, ok := c.tryAcquire(t); ok {
+		return core
 	}
 	w := &waiter{p: p, th: t, assigned: -1}
 	c.waiters = append(c.waiters, w)
 	p.Park()
 	return w.assigned
+}
+
+// tryAcquire claims an idle core in the thread's mask without blocking.
+// Fast path: sticky core, then a rotating scan so unpinned threads
+// (e.g. kernel flushers) spread across every idle core of the host
+// instead of clustering on the lowest-numbered ones. The scan walks the
+// mask with bit operations — ascending core order starting at the
+// scanRR-th set bit, wrapping — visiting exactly the sequence the
+// former Cores()-slice scan produced, without the allocation.
+func (c *CPU) tryAcquire(t *Thread) (int, bool) {
+	if t.lastCore >= 0 && t.mask.Has(t.lastCore) && !c.cores[t.lastCore].busy {
+		c.cores[t.lastCore].busy = true
+		return t.lastCore, true
+	}
+	if t.mask != 0 {
+		start := c.scanRR % t.mask.Count()
+		c.scanRR++
+		// rest holds the set bits from the start-th onward; the wrapped
+		// remainder is the cleared lower bits.
+		rest := uint64(t.mask)
+		for i := 0; i < start; i++ {
+			rest &= rest - 1
+		}
+		for _, w := range [2]uint64{rest, uint64(t.mask) &^ rest} {
+			for ; w != 0; w &= w - 1 {
+				core := bits.TrailingZeros64(w)
+				if !c.cores[core].busy {
+					c.cores[core].busy = true
+					return core, true
+				}
+			}
+		}
+	}
+	return -1, false
 }
 
 func (c *CPU) release(core int) {
@@ -207,7 +349,8 @@ func (c *CPU) Utilization(mask Mask, since []time.Duration, window time.Duration
 		return 0
 	}
 	var busy time.Duration
-	for _, core := range mask.Cores() {
+	for w := uint64(mask); w != 0; w &= w - 1 {
+		core := bits.TrailingZeros64(w)
 		busy += c.cores[core].busyTime - since[core]
 	}
 	return float64(busy) / float64(window)

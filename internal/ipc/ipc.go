@@ -185,9 +185,10 @@ func (t *Transport) call(ctx vfsapi.Ctx, fn func(dctx vfsapi.Ctx) error) error {
 func (t *Transport) ScaleEvents() int { return t.scaleEvents }
 
 // Repin moves every service thread (and future pinnings) to the new
-// pool mask — the §9 dynamic resource reallocation. Queue-to-core
-// associations are rebuilt lazily: already-pinned application threads
-// keep their queues but run within the new mask.
+// pool mask — the §9 dynamic resource reallocation. Already-pinned
+// application threads keep their queues and follow them onto the
+// queue's narrowed mask, preserving the §3.5 queue-locality invariant
+// (thread affinity == the cores of the queue it enqueues on).
 func (t *Transport) Repin(mask cpu.Mask) {
 	if mask == 0 {
 		return
@@ -202,8 +203,8 @@ func (t *Transport) Repin(mask cpu.Mask) {
 			th.SetAffinity(q.mask)
 		}
 	}
-	for th := range t.pinned {
-		th.SetAffinity(mask)
+	for th, q := range t.pinned {
+		th.SetAffinity(q.mask)
 	}
 }
 

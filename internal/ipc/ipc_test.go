@@ -247,3 +247,43 @@ func TestRepinMovesServiceThreads(t *testing.T) {
 	})
 	eng.Run()
 }
+
+func TestRepinKeepsQueueLocalityForPinnedThreads(t *testing.T) {
+	// Two queues (core groups {0,1} and {2,3}) with one app thread
+	// pinned to each. After Repin to an overlapping mask the queues
+	// narrow to {1} and {2}; each pinned thread must follow its OWN
+	// queue's narrowed mask, not the whole pool mask.
+	r := newRig(t, cpu.MaskOf(0, 1, 2, 3))
+	r.mem.Provision("/f", 1<<20)
+	r.eng.Go("app", func(p *sim.Proc) {
+		th0 := r.cpus.NewThread(r.acct, cpu.MaskOf(0, 1, 2, 3))
+		th1 := r.cpus.NewThread(r.acct, cpu.MaskOf(0, 1, 2, 3))
+		for _, th := range []*cpu.Thread{th0, th1} {
+			ctx := vfsapi.Ctx{P: p, T: th}
+			h, err := r.tr.Open(ctx, "/f", vfsapi.RDONLY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Read(ctx, 0, 1024)
+			h.Close(ctx)
+		}
+		q0, q1 := r.tr.pinned[th0], r.tr.pinned[th1]
+		if q0 == nil || q1 == nil {
+			t.Fatal("app threads were not pinned by their first request")
+		}
+		if q0 == q1 {
+			t.Fatal("both threads pinned to the same queue; want distinct queues")
+		}
+		r.tr.Repin(cpu.MaskOf(1, 2))
+		if q0.mask == q1.mask {
+			t.Fatalf("queues collapsed onto one mask %v after repin", q0.mask)
+		}
+		if got := th0.Affinity(); got != q0.mask {
+			t.Errorf("th0 affinity = %v, want its queue's mask %v", got, q0.mask)
+		}
+		if got := th1.Affinity(); got != q1.mask {
+			t.Errorf("th1 affinity = %v, want its queue's mask %v", got, q1.mask)
+		}
+	})
+	r.eng.Run()
+}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -28,7 +29,7 @@ func bucketIndex(v int64) int {
 	if v < subBuckets {
 		return int(v)
 	}
-	exp := 63 - leadingZeros(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	// Top 5 bits after the leading one select the sub-bucket.
 	sub := int((v >> (uint(exp) - 5)) & (subBuckets - 1))
 	return (exp-4)*subBuckets + sub
@@ -41,17 +42,6 @@ func bucketValue(idx int) int64 {
 	exp := idx/subBuckets + 4
 	sub := idx % subBuckets
 	return (1 << uint(exp)) | (int64(sub) << uint(exp-5))
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
 }
 
 // Record adds one sample.

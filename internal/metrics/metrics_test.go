@@ -109,3 +109,38 @@ func TestCounter(t *testing.T) {
 		t.Fatal("zero window should yield 0")
 	}
 }
+
+// refBucketIndex is the historical bucketIndex with its hand-rolled
+// O(64) leading-zero scan, kept as a reference to pin down the
+// math/bits implementation on bucket boundaries.
+func refBucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	lz := 0
+	for b := uint64(1) << 63; b != 0 && uint64(v)&b == 0; b >>= 1 {
+		lz++
+	}
+	exp := 63 - lz
+	sub := int((v >> (uint(exp) - 5)) & (subBuckets - 1))
+	return (exp-4)*subBuckets + sub
+}
+
+func TestBucketIndexMatchesReference(t *testing.T) {
+	cases := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1 << 40, 1<<40 + 12345}
+	for e := uint(5); e < 63; e++ {
+		cases = append(cases, int64(1)<<e-1, int64(1)<<e, int64(1)<<e+1)
+	}
+	for _, v := range cases {
+		if got, want := bucketIndex(v), refBucketIndex(v); got != want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", v, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63()
+		if got, want := bucketIndex(v), refBucketIndex(v); got != want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -22,6 +22,12 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 
+	// deadline is the bound of the RunUntil call currently draining the
+	// heap (negative: run to exhaustion). Processes consult it when
+	// executing elidable events inline — see Proc.park — so inline
+	// execution never runs past the engine loop's own stopping point.
+	deadline time.Duration
+
 	// parked receives a token whenever the currently running process
 	// blocks or terminates, returning control to the engine loop.
 	parked chan struct{}
@@ -35,7 +41,12 @@ type Engine struct {
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{
+		parked:   make(chan struct{}),
+		deadline: -1,
+		// Pre-size the heap so steady-state event churn never grows it.
+		events: make(eventHeap, 0, 256),
+	}
 }
 
 // Now returns the current virtual time since the start of the simulation.
@@ -70,10 +81,14 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		// The deferred handoff also covers runtime.Goexit (e.g. a
 		// t.Fatal inside a simulated process): the engine regains
-		// control instead of deadlocking on a lost park token.
+		// control instead of deadlocking on a lost park token. The
+		// finish trace is emitted here rather than by the engine loop
+		// because a process may have been resumed by a direct handoff
+		// from a sibling process, not by the loop.
 		defer func() {
 			p.done = true
 			e.liveProcs--
+			e.trace(TraceEvent{At: e.now, Kind: TraceFinish, Proc: p.name, ProcID: p.id})
 			e.running = nil
 			e.parked <- struct{}{}
 		}()
@@ -94,6 +109,7 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= deadline, then sets the
 // clock to deadline. A negative deadline means run to exhaustion.
 func (e *Engine) RunUntil(deadline time.Duration) {
+	e.deadline = deadline
 	for len(e.events) > 0 {
 		if deadline >= 0 && e.events[0].at > deadline {
 			break
@@ -109,9 +125,6 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		case ev.p != nil:
 			e.trace(TraceEvent{At: e.now, Kind: TraceResume, Proc: ev.p.name, ProcID: ev.p.id})
 			e.resumeProc(ev.p)
-			if ev.p.done {
-				e.trace(TraceEvent{At: e.now, Kind: TraceFinish, Proc: ev.p.name, ProcID: ev.p.id})
-			}
 		}
 	}
 	if deadline >= 0 && e.now < deadline {
@@ -135,6 +148,18 @@ func (e *Engine) resumeProc(p *Proc) {
 func (e *Engine) ScheduleWake(p *Proc) {
 	e.scheduleWake(p, e.now)
 }
+
+// ScheduleWakeAfter arranges for p to resume at now+d. It lets engine
+// callbacks hand a timed wake to a parked process (the CPU scheduler's
+// coalesced quantum chain ends this way) without the process burning a
+// park/resume round trip on an intermediate Sleep.
+func (e *Engine) ScheduleWakeAfter(p *Proc, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.scheduleWake(p, e.now+d)
+}
+
 
 // scheduleWake arranges for p to resume at absolute time at. A parked
 // process must have exactly one pending wake: double wakes corrupt the

@@ -1,6 +1,9 @@
 package sim
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Proc is a simulated process: a goroutine that runs only when resumed
 // by the engine and parks whenever it blocks on a simulated primitive.
@@ -45,9 +48,60 @@ func (p *Proc) Now() time.Duration { return p.eng.now }
 func (p *Proc) Park() { p.park() }
 
 // park hands control back to the engine and blocks until resumed.
+//
+// Fast path: before paying the two channel handoffs of a goroutine
+// round trip, the parking process executes elidable pending events
+// inline — engine callbacks, and its own wake. These are exactly the
+// events the engine loop would process next, popped in identical heap
+// order with identical clock, trace, and seq effects, so the inline
+// path is indistinguishable from the parked one except in wall-clock
+// cost. An event that resumes a different process is never elidable
+// (it must run on that process's goroutine), and inline execution
+// respects the engine's RunUntil deadline.
 func (p *Proc) park() wakeReason {
-	p.eng.running = nil
-	p.eng.parked <- struct{}{}
+	e := p.eng
+	handedOff := false
+	for !handedOff && len(e.events) > 0 {
+		top := &e.events[0]
+		if e.deadline >= 0 && top.at > e.deadline {
+			break
+		}
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.fn != nil {
+			e.trace(TraceEvent{At: e.now, Kind: TraceCallback})
+			ev.fn()
+			continue
+		}
+		if ev.p == p {
+			// Own wake reached: resume inline, never having parked.
+			p.pendingWake = false
+			e.trace(TraceEvent{At: e.now, Kind: TraceResume, Proc: p.name, ProcID: p.id})
+			r := p.wakeReason
+			p.wakeReason = wakeNormal
+			return r
+		}
+		// The next event resumes another process: switch to it
+		// directly — one goroutine handoff instead of two via the
+		// engine loop.
+		q := ev.p
+		if q.done {
+			panic(fmt.Sprintf("sim: resuming finished proc %s", q.name))
+		}
+		q.pendingWake = false
+		e.trace(TraceEvent{At: e.now, Kind: TraceResume, Proc: q.name, ProcID: q.id})
+		e.running = q
+		q.resume <- struct{}{}
+		handedOff = true
+	}
+	if !handedOff {
+		// Heap drained (or deadline reached): return control to the
+		// engine loop.
+		e.running = nil
+		e.parked <- struct{}{}
+	}
 	<-p.resume
 	r := p.wakeReason
 	p.wakeReason = wakeNormal
@@ -65,7 +119,8 @@ func (p *Proc) Sleep(d time.Duration) {
 }
 
 // Yield reschedules the process at the current time, letting any other
-// runnable work at the same timestamp execute first.
+// runnable work at the same timestamp execute first. When no such work
+// exists the park/resume round trip is elided entirely.
 func (p *Proc) Yield() {
 	p.eng.scheduleWake(p, p.eng.now)
 	p.park()

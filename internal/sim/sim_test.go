@@ -367,7 +367,41 @@ func BenchmarkEngineSleepWake(b *testing.B) {
 			p.Sleep(time.Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineYield measures the self-wake fast path: a Yield with
+// no competing work at the same timestamp must elide the park/resume
+// goroutine round trip entirely.
+func BenchmarkEngineYield(b *testing.B) {
+	e := NewEngine()
+	e.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineEventChurn measures raw callback scheduling: each
+// iteration pushes and drains one timer event through the heap.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(time.Microsecond, tick)
 	e.Run()
 }
 
@@ -380,6 +414,29 @@ func BenchmarkMutexUncontended(b *testing.B) {
 			m.Unlock(p)
 		}
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkMutexContendedHandoff measures the Unlock-to-waiter handoff
+// with a standing queue of 64 workers, the hot path of the Fig 1b
+// i_mutex convoys. The waiter ring must keep this allocation-free.
+func BenchmarkMutexContendedHandoff(b *testing.B) {
+	e := NewEngine()
+	m := NewMutex(e, "b")
+	const workers = 64
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		e.Go("bench", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				m.Lock(p)
+				p.Sleep(time.Microsecond)
+				m.Unlock(p)
+			}
+		})
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -571,5 +628,43 @@ func TestMutexLockedAndWaiters(t *testing.T) {
 	e.Run()
 	if m.Locked() {
 		t.Fatal("mutex should be free at the end")
+	}
+}
+
+func TestMutexManyWaitersFIFOOrder(t *testing.T) {
+	// A multi-hundred waiter queue (the Fig 1b i_mutex regime) must
+	// drain in strict arrival order through the ring's lazy compaction.
+	e := NewEngine()
+	m := NewMutex(e, "ring")
+	const n = 300
+	var order []int
+	e.Go("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(time.Duration(n+1) * time.Microsecond)
+		if got := m.Waiters(); got != n {
+			t.Errorf("Waiters() = %d, want %d", got, n)
+		}
+		m.Unlock(p)
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("waiter", func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * time.Microsecond) // arrive in index order
+			m.Lock(p)
+			order = append(order, i)
+			m.Unlock(p)
+		})
+	}
+	e.Run()
+	if len(order) != n {
+		t.Fatalf("%d waiters ran, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("handoff %d went to waiter %d; order not FIFO", i, got)
+		}
+	}
+	if m.Waiters() != 0 || m.Locked() {
+		t.Fatalf("mutex not drained: locked=%v waiters=%d", m.Locked(), m.Waiters())
 	}
 }
