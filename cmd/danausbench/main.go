@@ -24,23 +24,24 @@ import (
 )
 
 var experimentsByName = map[string]func(experiments.Scale){
-	"fig1":      runFig1,
-	"fig6a":     runFig6a,
-	"fig6b":     runFig6b,
-	"fig6c":     runFig6c,
-	"fig7a":     func(s experiments.Scale) { runKVScaleout(experiments.PhasePut, s) },
-	"fig7b":     func(s experiments.Scale) { runKVScaleout(experiments.PhaseGet, s) },
-	"fig7c":     func(s experiments.Scale) { runKVScaleup(experiments.PhasePut, s) },
-	"fig7d":     func(s experiments.Scale) { runKVScaleup(experiments.PhaseGet, s) },
-	"fig8":      runFig8,
-	"fig9w":     func(s experiments.Scale) { runSeqIO(true, s) },
-	"fig9r":     func(s experiments.Scale) { runSeqIO(false, s) },
-	"fig10":     runFig10,
-	"fig11a":    func(s experiments.Scale) { runFileIO(true, s) },
-	"fig11b":    func(s experiments.Scale) { runFileIO(false, s) },
-	"table1":    runTable1,
-	"table2":    runTable2,
-	"ablations": runAblations,
+	"fig1":       runFig1,
+	"fig6a":      runFig6a,
+	"fig6b":      runFig6b,
+	"fig6c":      runFig6c,
+	"fig7a":      func(s experiments.Scale) { runKVScaleout(experiments.PhasePut, s) },
+	"fig7b":      func(s experiments.Scale) { runKVScaleout(experiments.PhaseGet, s) },
+	"fig7c":      func(s experiments.Scale) { runKVScaleup(experiments.PhasePut, s) },
+	"fig7d":      func(s experiments.Scale) { runKVScaleup(experiments.PhaseGet, s) },
+	"fig8":       runFig8,
+	"fig9w":      func(s experiments.Scale) { runSeqIO(true, s) },
+	"fig9r":      func(s experiments.Scale) { runSeqIO(false, s) },
+	"fig10":      runFig10,
+	"fig11a":     func(s experiments.Scale) { runFileIO(true, s) },
+	"fig11b":     func(s experiments.Scale) { runFileIO(false, s) },
+	"table1":     runTable1,
+	"table2":     runTable2,
+	"ablations":  runAblations,
+	"faultsweep": runFaultSweep,
 }
 
 func main() {
@@ -206,6 +207,13 @@ func runAblations(scale experiments.Scale) {
 	fmt.Println("Design-choice ablations (DESIGN.md / paper §3, §6.3.2)")
 	for _, row := range experiments.AllAblations(scale) {
 		fmt.Println("  " + row.String())
+	}
+}
+
+func runFaultSweep(scale experiments.Scale) {
+	fmt.Println("Fault sweep: recovery and isolation under deterministic fault schedules")
+	for _, c := range experiments.FaultSweepCases(scale) {
+		fmt.Println("  " + experiments.RunFaultSweep(c, scale).String())
 	}
 }
 

@@ -12,13 +12,16 @@ package cephclient
 
 import (
 	"container/list"
+	"errors"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/cpu"
 	"repro/internal/extent"
 	"repro/internal/memacct"
+	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -68,7 +71,9 @@ type Client struct {
 	oldestDirty time.Duration
 
 	// CacheStats counts data-path cache behaviour.
-	stats     CacheStats
+	stats CacheStats
+	// faults counts retry/failover activity against a faulted backend.
+	faults    metrics.FaultCounters
 	throttleQ *sim.WaitQueue
 	flushQ    *sim.WaitQueue
 	fetchQ    *sim.WaitQueue // readers waiting on in-flight fetches
@@ -218,6 +223,102 @@ func (s CacheStats) HitRatio() float64 {
 
 // Stats returns a snapshot of the client's cache statistics.
 func (c *Client) Stats() CacheStats { return c.stats }
+
+// FaultStats returns a snapshot of the client's fault-handling
+// counters.
+func (c *Client) FaultStats() metrics.FaultCounters { return c.faults }
+
+// retryable reports whether err is a transient backend fault worth
+// retrying (as opposed to a semantic error like ErrNotExist).
+func retryable(err error) bool {
+	return errors.Is(err, cluster.ErrOSDDown) ||
+		errors.Is(err, netsim.ErrPartitioned) ||
+		errors.Is(err, netsim.ErrDropped)
+}
+
+// backoff sleeps the deterministic capped-exponential retry delay,
+// charging it as I/O wait, and doubles d up to the cap.
+func (c *Client) backoff(ctx vfsapi.Ctx, d *time.Duration) {
+	start := c.eng.Now()
+	ctx.P.Sleep(*d)
+	wait := c.eng.Now() - start
+	ctx.T.Account().AddIOWait(wait)
+	c.faults.TimeDegraded += wait
+	if next := *d * 2; next <= c.params.ClientRetryCap {
+		*d = next
+	} else {
+		*d = c.params.ClientRetryCap
+	}
+}
+
+// readBackend fetches [off, off+n) of ino with the client's bounded
+// retry policy: the first attempt follows the cluster's degraded-aware
+// routing; retries cycle through the replication group with capped
+// exponential backoff until the per-op deadline or the retry budget
+// runs out, at which point the op fails with vfsapi.ErrIO.
+func (c *Client) readBackend(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
+	deadline := c.eng.Now() + c.params.ClientOpDeadline
+	backoff := c.params.ClientRetryBase
+	repl := c.clus.Replication()
+	for try := 0; ; try++ {
+		var err error
+		member := 0
+		if try == 0 {
+			err = c.clus.Read(ctx, ino, off, n)
+		} else {
+			member = try % repl
+			err = c.clus.ReadReplica(ctx, ino, off, n, member)
+		}
+		if err == nil {
+			if member != 0 {
+				c.faults.Failovers++
+			}
+			return nil
+		}
+		if !retryable(err) || c.stopped || c.crashed {
+			return err
+		}
+		if try+1 >= c.params.ClientMaxRetries || c.eng.Now()+backoff > deadline {
+			c.faults.DeadlineMisses++
+			return vfsapi.ErrIO
+		}
+		c.faults.Retries++
+		c.backoff(ctx, &backoff)
+	}
+}
+
+// writePersist stores [off, off+n) of ino durably, retrying until it
+// lands: writeback must not drop data the application already handed
+// over, so unlike reads there is no retry bound — each attempt
+// advances the acting primary through the replication group, and a
+// pass of the op deadline is counted (once) as a deadline miss. The
+// loop aborts only when the client is stopped or crashed or the error
+// is not a transient fault.
+func (c *Client) writePersist(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
+	deadline := c.eng.Now() + c.params.ClientOpDeadline
+	backoff := c.params.ClientRetryBase
+	repl := c.clus.Replication()
+	missed := false
+	for try := 0; ; try++ {
+		acting := try % repl
+		err := c.clus.WriteReplica(ctx, ino, off, n, acting)
+		if err == nil {
+			if acting != 0 {
+				c.faults.Failovers++
+			}
+			return nil
+		}
+		if !retryable(err) || c.stopped || c.crashed {
+			return err
+		}
+		c.faults.Retries++
+		if !missed && c.eng.Now() > deadline {
+			missed = true
+			c.faults.DeadlineMisses++
+		}
+		c.backoff(ctx, &backoff)
+	}
+}
 
 // opCPU charges the fixed user-level cost of one client operation.
 func (c *Client) opCPU(ctx vfsapi.Ctx) {
@@ -379,7 +480,7 @@ func (c *Client) flushPass(ctx vfsapi.Ctx) {
 			total += e.Len
 			if !f.unlinked {
 				c.wire(ctx, e.Len)
-				c.clus.Write(ctx, f.ino, e.Off, e.Len)
+				c.writePersist(ctx, f.ino, e.Off, e.Len)
 				c.stats.FlushedBytes += e.Len
 			}
 		}
@@ -453,7 +554,7 @@ func (c *Client) RevokeCaps(ctx vfsapi.Ctx, ino uint64) {
 		var total int64
 		for _, e := range exts {
 			c.wire(ctx, e.Len)
-			c.clus.Write(ctx, f.ino, e.Off, e.Len)
+			c.writePersist(ctx, f.ino, e.Off, e.Len)
 			total += e.Len
 		}
 		c.dirtyBytes -= total
@@ -485,7 +586,7 @@ func (c *Client) SyncAll(ctx vfsapi.Ctx) {
 			var total int64
 			for _, e := range exts {
 				c.wire(ctx, e.Len)
-				c.clus.Write(ctx, f.ino, e.Off, e.Len)
+				c.writePersist(ctx, f.ino, e.Off, e.Len)
 				total += e.Len
 			}
 			c.dirtyBytes -= total

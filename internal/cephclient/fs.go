@@ -84,6 +84,7 @@ func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsap
 		if err := c.clus.MetaSetSize(ctx, path, 0); err != nil {
 			return nil, err
 		}
+		c.clus.TruncateObjects(ino, 0)
 		c.lockedMeta(ctx, func() {
 			if e, ok := c.attrs[path]; ok {
 				e.info.Size = 0
@@ -256,7 +257,14 @@ func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 			break
 		}
 		c.wire(ctx, gLen)
-		c.clus.Read(ctx, h.f.ino, gOff, gLen)
+		rerr := c.readBackend(ctx, h.f.ino, gOff, gLen)
+		if rerr != nil {
+			// Release the in-flight claim before failing, or readers
+			// waiting on this range would park forever.
+			c.lockedMeta(ctx, func() { h.f.fetching.Remove(gOff, gLen) })
+			c.fetchQ.Broadcast()
+			return 0, rerr
+		}
 		c.stats.MissBytes += gLen
 		c.cacheInsert(ctx, h.f, gOff, gLen)
 		c.lockedMeta(ctx, func() { h.f.fetching.Remove(gOff, gLen) })
@@ -316,14 +324,25 @@ func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
 				exts = append(exts, e.Off, e.Len)
 			}
 		})
-		var total int64
+		var popped int64
+		for i := 0; i < len(exts); i += 2 {
+			popped += exts[i+1]
+		}
+		var werr error
 		for i := 0; i < len(exts); i += 2 {
 			c.wire(ctx, exts[i+1])
-			c.clus.Write(ctx, h.f.ino, exts[i], exts[i+1])
-			total += exts[i+1]
+			if werr = c.writePersist(ctx, h.f.ino, exts[i], exts[i+1]); werr != nil {
+				break
+			}
 		}
-		c.dirtyBytes -= total
+		// The popped extents left the dirty set either way; keep the
+		// accounting consistent even on a failed persist (the client is
+		// stopped or crashed — the data is lost, as a crash loses it).
+		c.dirtyBytes -= popped
 		c.throttleQ.Broadcast()
+		if werr != nil {
+			return werr
+		}
 	}
 	c.removeDirty(h.f)
 	c.pushSize(ctx, h.f)

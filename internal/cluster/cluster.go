@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/model"
@@ -15,6 +16,11 @@ import (
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
+
+// ErrOSDDown is returned by data operations that reach a crashed OSD.
+// Clients recover by retrying against another replica (see the
+// cephclient and kern retry paths).
+var ErrOSDDown = errors.New("cluster: osd down")
 
 // Cluster is the storage backend: one MDS plus a set of OSDs.
 type Cluster struct {
@@ -48,6 +54,13 @@ type OSD struct {
 	// recovering or overloaded OSD slows every placement group it
 	// hosts, but the data path stays correct).
 	degraded float64
+
+	// down marks a crashed OSD: every data operation reaching it fails
+	// with ErrOSDDown until Restart. Writes that the replication group
+	// accepts while a member is down are logged in backfill and applied
+	// on restart, so a rejoining OSD recovers the writes it missed.
+	down     bool
+	backfill map[objectID]int64
 }
 
 // SetDegraded slows the OSD's media by the given factor (1 = healthy).
@@ -56,6 +69,41 @@ func (o *OSD) SetDegraded(factor float64) {
 		factor = 1
 	}
 	o.degraded = factor
+}
+
+// Degraded returns the current media slowdown factor (<=1 = healthy).
+func (o *OSD) Degraded() float64 {
+	if o.degraded < 1 {
+		return 1
+	}
+	return o.degraded
+}
+
+// Crash marks the OSD down: in-flight and future operations against it
+// fail with ErrOSDDown until Restart.
+func (o *OSD) Crash() { o.down = true }
+
+// Restart brings a crashed OSD back, applying the backfill log of
+// writes its replication groups accepted while it was down — the
+// recovering member rejoins with no data loss.
+func (o *OSD) Restart() {
+	o.down = false
+	for id, end := range o.backfill {
+		if end > o.objects[id] {
+			o.objects[id] = end
+		}
+	}
+	o.backfill = map[objectID]int64{}
+}
+
+// Down reports whether the OSD is crashed.
+func (o *OSD) Down() bool { return o.down }
+
+// noteBackfill logs a write a down/unreachable member missed.
+func (o *OSD) noteBackfill(id objectID, end int64) {
+	if end > o.backfill[id] {
+		o.backfill[id] = end
+	}
 }
 
 func (o *OSD) mediaTime(n int64) time.Duration {
@@ -78,6 +126,12 @@ type MDS struct {
 	params *model.Params
 	tree   *nstree.Tree
 	ops    uint64
+
+	// stalled freezes metadata processing (fault injection: an MDS
+	// failover or journal replay window). Requests queue on stallQ and
+	// proceed when the stall clears.
+	stalled bool
+	stallQ  *sim.WaitQueue
 }
 
 // New builds a cluster of nOSD object servers and one MDS, wired to the
@@ -91,16 +145,18 @@ func New(eng *sim.Engine, params *model.Params, nOSD int) *Cluster {
 	}
 	for i := 0; i < nOSD; i++ {
 		c.osds = append(c.osds, &OSD{
-			index:   i,
-			media:   sim.NewMutex(eng, "osd.media"),
-			params:  params,
-			objects: map[objectID]int64{},
+			index:    i,
+			media:    sim.NewMutex(eng, "osd.media"),
+			params:   params,
+			objects:  map[objectID]int64{},
+			backfill: map[objectID]int64{},
 		})
 	}
 	c.mds = &MDS{
 		cpu:    sim.NewMutex(eng, "mds.cpu"),
 		params: params,
 		tree:   nstree.New(),
+		stallQ: sim.NewWaitQueue(eng, "mds.stall"),
 	}
 	c.replication = 1
 	return c
@@ -108,7 +164,7 @@ func New(eng *sim.Engine, params *model.Params, nOSD int) *Cluster {
 
 // SetReplication sets the number of copies kept per object (>= 1).
 // Writes fan out to the primary and its ring successors; reads are
-// served by the primary.
+// served by the least-degraded member of the group.
 func (c *Cluster) SetReplication(n int) {
 	if n < 1 {
 		n = 1
@@ -142,6 +198,27 @@ func (c *Cluster) placement(ino uint64, objIdx int64) int {
 	return int(h % uint64(len(c.osds)))
 }
 
+// PlacementOf exposes the primary OSD of an object; experiments use it
+// to aim fault windows at the OSD serving a known file.
+func (c *Cluster) PlacementOf(ino uint64, objIdx int64) int {
+	return c.placement(ino, objIdx)
+}
+
+// SetMDSStalled freezes or unfreezes metadata processing (fault
+// injection: an MDS failover / journal replay window). While stalled,
+// metadata requests queue at the server and complete when the stall
+// clears; pair every stall with an unstall or queued clients park
+// forever.
+func (c *Cluster) SetMDSStalled(v bool) {
+	c.mds.stalled = v
+	if !v {
+		c.mds.stallQ.Broadcast()
+	}
+}
+
+// MDSStalled reports whether metadata processing is frozen.
+func (c *Cluster) MDSStalled() bool { return c.mds.stalled }
+
 const (
 	metaReqBytes  = 256
 	metaRepBytes  = 256
@@ -153,13 +230,20 @@ const (
 // --- Metadata operations (request/response with the MDS) ---
 
 func (c *Cluster) mdsRPC(ctx vfsapi.Ctx, extraReply int64, op func() error) error {
-	c.fabric.Request(ctx.P, c.mdsServer(), metaReqBytes)
+	if err := c.fabric.Request(ctx.P, c.mdsServer(), metaReqBytes); err != nil {
+		return err
+	}
+	for c.mds.stalled {
+		c.mds.stallQ.Wait(ctx.P)
+	}
 	c.mds.cpu.Lock(ctx.P)
 	ctx.P.Sleep(c.params.MDSOpCost)
 	c.mds.ops++
 	err := op()
 	c.mds.cpu.Unlock(ctx.P)
-	c.fabric.Reply(ctx.P, c.mdsServer(), metaRepBytes+extraReply)
+	if rerr := c.fabric.Reply(ctx.P, c.mdsServer(), metaRepBytes+extraReply); rerr != nil && err == nil {
+		err = rerr
+	}
 	return err
 }
 
@@ -215,7 +299,9 @@ func (c *Cluster) MetaReaddir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, e
 		return nil, err
 	}
 	if n := int64(len(ents)) * dirEntryBytes; n > 0 {
-		c.fabric.Reply(ctx.P, c.mdsServer(), n)
+		if err := c.fabric.Reply(ctx.P, c.mdsServer(), n); err != nil {
+			return nil, err
+		}
 	}
 	return ents, nil
 }
@@ -262,37 +348,105 @@ func (c *Cluster) MetaSetSize(ctx vfsapi.Ctx, path string, size int64) error {
 
 // Write stores [off, off+n) of the file identified by ino, splitting
 // the range across 4 MB objects placed on the OSDs. The write is
-// acknowledged after the primary and every replica have it (the
-// replicas are updated by the primary over the server network). It
-// blocks the caller for the full round trips.
-func (c *Cluster) Write(ctx vfsapi.Ctx, ino uint64, off, n int64) {
-	c.eachObject(off, n, func(objIdx, objOff, seg int64) {
+// acknowledged after the primary and every reachable replica have it
+// (the replicas are updated by the primary over the server network).
+// It blocks the caller for the full round trips.
+func (c *Cluster) Write(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
+	return c.WriteReplica(ctx, ino, off, n, 0)
+}
+
+// WriteReplica is Write with the acting primary pinned to replication-
+// group member `acting` (0 = the placement primary). Clients retry a
+// failed write here with the next member acting as primary. Group
+// members that are down or unreachable miss the write but have it
+// logged for backfill, so they recover it on restart; the write still
+// fails if the acting primary itself cannot take it.
+func (c *Cluster) WriteReplica(ctx vfsapi.Ctx, ino uint64, off, n int64, acting int) error {
+	return c.eachObject(off, n, func(objIdx, objOff, seg int64) error {
 		s := c.placement(ino, objIdx)
-		c.fabric.Request(ctx.P, s, dataHdrBytes+seg)
-		c.osds[s].write(ctx.P, objectID{ino, objIdx}, objOff, seg)
-		for r := 1; r < c.replication; r++ {
-			rs := (s + r) % len(c.osds)
-			// Primary forwards to the replica: replica-side network in
-			// plus its media write.
-			c.fabric.Servers[rs].RX.Transfer(ctx.P, seg)
-			c.osds[rs].write(ctx.P, objectID{ino, objIdx}, objOff, seg)
+		a := acting % c.replication
+		as := (s + a) % len(c.osds)
+		id := objectID{ino, objIdx}
+		if err := c.fabric.Request(ctx.P, as, dataHdrBytes+seg); err != nil {
+			return err
 		}
-		c.fabric.Reply(ctx.P, s, dataRepBytes)
+		if err := c.osds[as].write(ctx.P, id, objOff, seg); err != nil {
+			return err
+		}
+		for r := 0; r < c.replication; r++ {
+			if r == a {
+				continue
+			}
+			rs := (s + r) % len(c.osds)
+			osd := c.osds[rs]
+			if osd.down {
+				osd.noteBackfill(id, objOff+seg)
+				continue
+			}
+			// Acting primary forwards to the member: member-side network
+			// in plus its media write. A member that became unreachable
+			// or crashed mid-write is backfilled later instead of
+			// failing the op.
+			if err := c.fabric.Servers[rs].RX.Transfer(ctx.P, seg); err != nil {
+				osd.noteBackfill(id, objOff+seg)
+				continue
+			}
+			if err := osd.write(ctx.P, id, objOff, seg); err != nil {
+				osd.noteBackfill(id, objOff+seg)
+			}
+		}
+		return c.fabric.Reply(ctx.P, as, dataRepBytes)
 	})
 }
 
-// Read fetches [off, off+n) of ino from the OSDs.
-func (c *Cluster) Read(ctx vfsapi.Ctx, ino uint64, off, n int64) {
-	c.eachObject(off, n, func(objIdx, objOff, seg int64) {
-		s := c.placement(ino, objIdx)
-		osd := c.osds[s]
-		c.fabric.Request(ctx.P, s, dataHdrBytes)
-		osd.read(ctx.P, objectID{ino, objIdx}, objOff, seg)
-		c.fabric.Reply(ctx.P, s, dataRepBytes+seg)
+// Read fetches [off, off+n) of ino. Each object is served by the
+// least-degraded member of its replication group (ties prefer the
+// primary), so a slow recovering OSD does not throttle reads that have
+// a healthy copy elsewhere.
+func (c *Cluster) Read(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
+	return c.eachObject(off, n, func(objIdx, objOff, seg int64) error {
+		return c.readObject(ctx, ino, objIdx, objOff, seg, -1)
 	})
 }
 
-func (c *Cluster) eachObject(off, n int64, fn func(objIdx, objOff, seg int64)) {
+// ReadReplica is Read with the serving OSD pinned to replication-group
+// member `replica` (0 = primary). Clients cycle through members here
+// when the routed read fails.
+func (c *Cluster) ReadReplica(ctx vfsapi.Ctx, ino uint64, off, n int64, replica int) error {
+	return c.eachObject(off, n, func(objIdx, objOff, seg int64) error {
+		return c.readObject(ctx, ino, objIdx, objOff, seg, replica%c.replication)
+	})
+}
+
+// readObject serves one object read from group member pin, or from the
+// least-degraded member when pin is negative. Down members are not
+// excluded from routing — liveness is discovered the hard way, via
+// ErrOSDDown, as with a real OSD map lagging a crash.
+func (c *Cluster) readObject(ctx vfsapi.Ctx, ino uint64, objIdx, objOff, seg int64, pin int) error {
+	s := c.placement(ino, objIdx)
+	m := pin
+	if m < 0 {
+		m = 0
+		if c.replication > 1 {
+			best := c.osds[s].Degraded()
+			for r := 1; r < c.replication; r++ {
+				if d := c.osds[(s+r)%len(c.osds)].Degraded(); d < best {
+					best, m = d, r
+				}
+			}
+		}
+	}
+	ms := (s + m) % len(c.osds)
+	if err := c.fabric.Request(ctx.P, ms, dataHdrBytes); err != nil {
+		return err
+	}
+	if err := c.osds[ms].read(ctx.P, objectID{ino, objIdx}, objOff, seg); err != nil {
+		return err
+	}
+	return c.fabric.Reply(ctx.P, ms, dataRepBytes+seg)
+}
+
+func (c *Cluster) eachObject(off, n int64, fn func(objIdx, objOff, seg int64) error) error {
 	size := c.params.ObjectSize
 	for n > 0 {
 		objIdx := off / size
@@ -301,33 +455,63 @@ func (c *Cluster) eachObject(off, n int64, fn func(objIdx, objOff, seg int64)) {
 		if n < seg {
 			seg = n
 		}
-		fn(objIdx, objOff, seg)
+		if err := fn(objIdx, objOff, seg); err != nil {
+			return err
+		}
 		off += seg
 		n -= seg
 	}
+	return nil
 }
 
-func (o *OSD) write(p *sim.Proc, id objectID, off, n int64) {
+func (o *OSD) write(p *sim.Proc, id objectID, off, n int64) error {
+	if o.down {
+		return ErrOSDDown
+	}
 	o.media.Lock(p)
+	if o.down {
+		// Crashed while the request queued on the media.
+		o.media.Unlock(p)
+		return ErrOSDDown
+	}
 	p.Sleep(o.params.OSDOpCost)
 	// Journal + data: writes cost JournalFactor × media time.
 	mediaBytes := int64(float64(n) * o.params.OSDJournalFactor)
 	p.Sleep(o.mediaTime(mediaBytes))
+	if o.down {
+		// Crashed mid-service: the write never persisted.
+		o.media.Unlock(p)
+		return ErrOSDDown
+	}
 	if end := off + n; end > o.objects[id] {
 		o.objects[id] = end
 	}
 	o.bytesWritten += uint64(n)
 	o.ops++
 	o.media.Unlock(p)
+	return nil
 }
 
-func (o *OSD) read(p *sim.Proc, id objectID, off, n int64) {
+func (o *OSD) read(p *sim.Proc, id objectID, off, n int64) error {
+	if o.down {
+		return ErrOSDDown
+	}
 	o.media.Lock(p)
+	if o.down {
+		o.media.Unlock(p)
+		return ErrOSDDown
+	}
 	p.Sleep(o.params.OSDOpCost)
 	p.Sleep(o.mediaTime(n))
+	if o.down {
+		// Crashed mid-service: the reply was never sent.
+		o.media.Unlock(p)
+		return ErrOSDDown
+	}
 	o.bytesRead += uint64(n)
 	o.ops++
 	o.media.Unlock(p)
+	return nil
 }
 
 // BytesWritten returns total payload bytes stored on this OSD.
@@ -359,14 +543,70 @@ func (c *Cluster) Provision(path string, size int64) error {
 		return err
 	}
 	n.Size = size
-	c.eachObject(0, size, func(objIdx, objOff, seg int64) {
+	c.eachObject(0, size, func(objIdx, objOff, seg int64) error {
 		id := objectID{n.Ino, objIdx}
-		o := c.osds[c.placement(n.Ino, objIdx)]
-		if end := objOff + seg; end > o.objects[id] {
-			o.objects[id] = end
+		s := c.placement(n.Ino, objIdx)
+		for r := 0; r < c.replication; r++ {
+			o := c.osds[(s+r)%len(c.osds)]
+			if end := objOff + seg; end > o.objects[id] {
+				o.objects[id] = end
+			}
 		}
+		return nil
 	})
 	return nil
+}
+
+// TruncateObjects clamps the stored extents of ino's objects to the
+// given file size on every replica, without consuming virtual time: in
+// Ceph the MDS serves the new size immediately while object trimming
+// proceeds asynchronously.
+func (c *Cluster) TruncateObjects(ino uint64, size int64) {
+	objSize := c.params.ObjectSize
+	clamp := func(m map[objectID]int64) {
+		for id, end := range m {
+			if id.ino != ino {
+				continue
+			}
+			keep := size - id.idx*objSize
+			switch {
+			case keep <= 0:
+				delete(m, id)
+			case end > keep:
+				m[id] = keep
+			}
+		}
+	}
+	for _, o := range c.osds {
+		clamp(o.objects)
+		clamp(o.backfill)
+	}
+}
+
+// StoredSize returns the reconstructible size of ino across the
+// cluster: for each object, the largest extent held by any OSD (live
+// or logged for backfill). Experiments compare it against acknowledged
+// writes to assert zero data loss under fault schedules.
+func (c *Cluster) StoredSize(ino uint64) int64 {
+	objSize := c.params.ObjectSize
+	var max int64
+	for _, o := range c.osds {
+		for id, end := range o.objects {
+			if id.ino == ino {
+				if v := id.idx*objSize + end; v > max {
+					max = v
+				}
+			}
+		}
+		for id, end := range o.backfill {
+			if id.ino == ino {
+				if v := id.idx*objSize + end; v > max {
+					max = v
+				}
+			}
+		}
+	}
+	return max
 }
 
 // ProvisionDir creates a directory (and ancestors) without cost.

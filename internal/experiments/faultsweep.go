@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/kern"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// FaultSweepCase is one point of the fault-sweep family: a client
+// configuration and replication level driven through a deterministic
+// fault schedule while a victim and a bystander tenant run side by
+// side.
+type FaultSweepCase struct {
+	Label       string
+	Config      core.Configuration
+	Replication int
+	// Schedule is a faults.Parse schedule with times relative to the
+	// start of the measurement window. The token "@wal" is replaced by
+	// the OSD index holding the victim WAL's first object, so the crash
+	// always lands on data the victim owns.
+	Schedule string
+}
+
+// FaultSweepRow is the outcome of one fault-sweep case.
+type FaultSweepRow struct {
+	Label       string
+	Config      core.Configuration
+	Replication int
+
+	// Victim probes: a fsync-per-append WAL writer and a cold
+	// sequential reader forced to the backend by cache pressure.
+	VictimWriteMBps float64
+	VictimReadMBps  float64
+	// BystanderMBps is the cache-resident reader in the second pool,
+	// measuring collateral damage of the victim's faults.
+	BystanderMBps float64
+	VictimOps     uint64
+	VictimErrors  uint64
+
+	// RecoveryTime is the time from the first fault arming until the
+	// first victim operation that completed *through* the fault path
+	// (its success coincided with a retry or failover), i.e. how long
+	// until the client demonstrably worked around the fault. Zero when
+	// no fault was scheduled or no operation needed the fault path.
+	RecoveryTime time.Duration
+
+	// Fault-handling counters summed over the victim's client.
+	Faults metrics.FaultCounters
+
+	// DataLossBytes is acknowledged-but-unrecoverable WAL bytes:
+	// fsync-acked size minus what the cluster can reconstruct from live
+	// objects and backfill logs. Must be zero at replication >= 2.
+	DataLossBytes int64
+}
+
+// FaultSweepCases returns the harness sweep: a no-fault baseline, the
+// combined crash+spike+stall schedule against the user-level and the
+// kernel client at replication 2, and an unreplicated long crash that
+// exercises the bounded-retry error path.
+func FaultSweepCases(scale Scale) []FaultSweepCase {
+	frac := func(f float64) time.Duration {
+		return time.Duration(float64(scale.Duration) * f)
+	}
+	span := func(a, b float64) string {
+		return fmt.Sprintf("%v-%v", frac(a), frac(b))
+	}
+	combined := fmt.Sprintf("osd-crash:@wal:%s;net-spike:client:500us:%s;mds-stall:%s",
+		span(0.25, 0.6), span(0.4, 0.7), span(0.5, 0.55))
+	long := fmt.Sprintf("osd-crash:@wal:%s", span(0.25, 0.85))
+	return []FaultSweepCase{
+		{Label: "baseline", Config: core.ConfigD, Replication: 2, Schedule: ""},
+		{Label: "crash+spike+stall", Config: core.ConfigD, Replication: 2, Schedule: combined},
+		{Label: "crash+spike+stall", Config: core.ConfigK, Replication: 2, Schedule: combined},
+		{Label: "long-crash", Config: core.ConfigD, Replication: 1, Schedule: long},
+	}
+}
+
+// mountFaultStats sums the fault counters of whichever Ceph clients
+// back the mount.
+func mountFaultStats(m *core.MountResult) metrics.FaultCounters {
+	var total metrics.FaultCounters
+	if m.Client != nil {
+		total.Add(m.Client.FaultStats())
+	}
+	if m.KernelMount != nil {
+		if cs, ok := m.KernelMount.Store().(*kern.CephStore); ok {
+			total.Add(cs.FaultStats())
+		}
+	}
+	return total
+}
+
+// RunFaultSweep executes one fault-sweep case: victim pool 0 runs the
+// WAL writer and the cold reader, bystander pool 1 a cached reader,
+// and the schedule is installed relative to the measurement window.
+func RunFaultSweep(c FaultSweepCase, scale Scale) FaultSweepRow {
+	r := newScaledRig(4, scale)
+	r.tb.Cluster.SetReplication(c.Replication)
+	row := FaultSweepRow{Label: c.Label, Config: c.Config, Replication: c.Replication}
+
+	_, victim, err := r.flsContainer(0, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+	_, byst, err := r.flsContainer(1, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+
+	// The cold file overflows the victim's cache so reads keep hitting
+	// the backend; the bystander file fits comfortably.
+	coldSize := scale.PoolMem() + scale.PoolMem()/2
+	const warmSize = 16 << 20
+	const walOp = 64 << 10
+	const readChunk = 256 << 10
+
+	r.runMaster(func(p *sim.Proc) {
+		prepare(p, r.tb.Eng,
+			func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+				h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				if err := h.Close(ctx); err != nil {
+					panic(err)
+				}
+				cold, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				for written := int64(0); written < coldSize; written += 1 << 20 {
+					if _, err := cold.Append(ctx, 1<<20); err != nil {
+						panic(err)
+					}
+				}
+				if err := cold.Fsync(ctx); err != nil {
+					panic(err)
+				}
+				if err := cold.Close(ctx); err != nil {
+					panic(err)
+				}
+			},
+			func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: byst.NewThread()}
+				h, err := byst.Mount.Default.Open(ctx, "/warm", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := h.Append(ctx, warmSize); err != nil {
+					panic(err)
+				}
+				if err := h.Fsync(ctx); err != nil {
+					panic(err)
+				}
+				if err := h.Close(ctx); err != nil {
+					panic(err)
+				}
+			},
+		)
+
+		clock := clockFor(r.tb.Eng, scale)
+
+		walNode, err := r.tb.Cluster.Tree().Lookup("/containers/fls0/wal")
+		if err != nil {
+			panic(err)
+		}
+		walIno := walNode.Ino
+		sched := strings.ReplaceAll(c.Schedule, "@wal",
+			strconv.Itoa(r.tb.Cluster.PlacementOf(walIno, 0)))
+		plan, err := faults.Parse(sched)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := faults.Install(r.tb.Eng, r.tb.Cluster, plan, clock.From); err != nil {
+			panic(err)
+		}
+		var faultAbs time.Duration
+		if !plan.Empty() {
+			faultAbs = clock.From + plan.Windows[0].Start
+		}
+
+		writer := workloads.NewStats()
+		reader := workloads.NewStats()
+		warm := workloads.NewStats()
+		var acked, walSize int64
+		var firstSurvived time.Duration
+
+		// noteSurvival records the first victim op whose success
+		// coincided with retry/failover activity after the fault armed.
+		noteSurvival := func(before metrics.FaultCounters, t time.Duration) {
+			if faultAbs == 0 || t < faultAbs || firstSurvived != 0 {
+				return
+			}
+			after := mountFaultStats(victim.Mount)
+			if after.Retries > before.Retries || after.Failovers > before.Failovers {
+				firstSurvived = t
+			}
+		}
+
+		g := workloads.NewGroup(r.tb.Eng)
+		g.Go("wal-writer", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.WRONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			for !clock.Done() {
+				before := mountFaultStats(victim.Mount)
+				start := pp.Now()
+				_, werr := h.Append(ctx, walOp)
+				if werr == nil {
+					walSize += walOp
+					werr = h.Fsync(ctx)
+				}
+				now := pp.Now()
+				if werr != nil {
+					if clock.Measuring() {
+						writer.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					continue
+				}
+				// A successful fsync drained every dirty extent of the
+				// WAL, so everything appended so far is acknowledged.
+				acked = walSize
+				noteSurvival(before, now)
+				if clock.Measuring() {
+					writer.Record(walOp, now-start)
+				}
+			}
+		})
+		g.Go("cold-reader", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			var off int64
+			for !clock.Done() {
+				before := mountFaultStats(victim.Mount)
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, readChunk)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						reader.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					off += readChunk
+				} else {
+					noteSurvival(before, now)
+					if clock.Measuring() {
+						reader.Record(n, now-start)
+					}
+					off += readChunk
+				}
+				if off >= coldSize {
+					off = 0
+				}
+			}
+		})
+		g.Go("bystander", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: byst.NewThread()}
+			h, err := byst.Mount.Default.Open(ctx, "/warm", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, 128<<10)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						warm.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+				} else if clock.Measuring() {
+					warm.Record(n, now-start)
+				}
+				off += 128 << 10
+				if off >= warmSize {
+					off = 0
+				}
+			}
+		})
+		g.Wait(p)
+
+		window := clock.Window()
+		row.VictimWriteMBps = writer.ThroughputMBps(window)
+		row.VictimReadMBps = reader.ThroughputMBps(window)
+		row.BystanderMBps = warm.ThroughputMBps(window)
+		row.VictimOps = writer.Ops.Ops + reader.Ops.Ops
+		row.VictimErrors = writer.Errors + reader.Errors
+		if firstSurvived > 0 {
+			row.RecoveryTime = firstSurvived - faultAbs
+		}
+		row.Faults = mountFaultStats(victim.Mount)
+		if loss := acked - r.tb.Cluster.StoredSize(walIno); loss > 0 {
+			row.DataLossBytes = loss
+		}
+	})
+	return row
+}
+
+// String renders a row for the harness.
+func (r FaultSweepRow) String() string {
+	return fmt.Sprintf("%-4s r=%d %-17s wal %6.1f MB/s read %6.1f MB/s byst %6.1f MB/s  ops=%-5d err=%-3d recover=%-10v retries=%-4d failovers=%-4d misses=%-3d degraded=%-10v loss=%d",
+		r.Config, r.Replication, r.Label,
+		r.VictimWriteMBps, r.VictimReadMBps, r.BystanderMBps,
+		r.VictimOps, r.VictimErrors, r.RecoveryTime,
+		r.Faults.Retries, r.Faults.Failovers, r.Faults.DeadlineMisses,
+		r.Faults.TimeDegraded, r.DataLossBytes)
+}

@@ -1,8 +1,12 @@
 package kern
 
 import (
+	"errors"
+
 	"repro/internal/cluster"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/vfsapi"
 )
 
@@ -18,6 +22,9 @@ type CephStore struct {
 
 	attrs map[string]attrEntry // dentry/attribute cache
 	paths map[uint64]string    // ino -> authoritative path
+
+	// faults counts retry/failover activity against a faulted backend.
+	faults metrics.FaultCounters
 }
 
 type attrEntry struct {
@@ -149,16 +156,82 @@ func (s *CephStore) SetSize(ctx vfsapi.Ctx, ino uint64, size int64) error {
 	return nil
 }
 
-// ReadData fetches object data from the OSDs.
+// FaultStats returns a snapshot of the store's fault-handling
+// counters.
+func (s *CephStore) FaultStats() metrics.FaultCounters { return s.faults }
+
+// kernRetryable mirrors the user-level client's transient-fault test.
+func kernRetryable(err error) bool {
+	return errors.Is(err, cluster.ErrOSDDown) ||
+		errors.Is(err, netsim.ErrPartitioned) ||
+		errors.Is(err, netsim.ErrDropped)
+}
+
+// retryData runs attempt against the replication group until it
+// succeeds. The kernel client blocks like the real CephFS mount: there
+// is no per-op deadline and no retry bound — the process hangs in D
+// state until the backend recovers (this is exactly the containment
+// contrast with the bounded user-level client). The deadline a bounded
+// client would have enforced is still counted, once per op, as a
+// deadline miss. Kernel shutdown aborts the loop so the engine drains.
+func (s *CephStore) retryData(ctx vfsapi.Ctx, attempt func(member int) error) {
+	p := s.kern.params
+	deadline := ctx.P.Now() + p.ClientOpDeadline
+	backoff := p.ClientRetryBase
+	repl := s.clus.Replication()
+	missed := false
+	for try := 0; ; try++ {
+		member := 0
+		if try > 0 {
+			member = try % repl
+		}
+		err := attempt(member)
+		if err == nil {
+			if member != 0 {
+				s.faults.Failovers++
+			}
+			return
+		}
+		if !kernRetryable(err) || s.kern.stopped {
+			return
+		}
+		s.faults.Retries++
+		if !missed && ctx.P.Now() > deadline {
+			missed = true
+			s.faults.DeadlineMisses++
+		}
+		start := ctx.P.Now()
+		ctx.P.Sleep(backoff)
+		wait := ctx.P.Now() - start
+		ctx.T.Account().AddIOWait(wait)
+		s.faults.TimeDegraded += wait
+		if next := backoff * 2; next <= p.ClientRetryCap {
+			backoff = next
+		} else {
+			backoff = p.ClientRetryCap
+		}
+	}
+}
+
+// ReadData fetches object data from the OSDs, failing over to ring
+// replicas and retrying until the read completes.
 func (s *CephStore) ReadData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
 	s.opCPU(ctx)
 	s.wireCPU(ctx, n)
-	s.clus.Read(ctx, ino, off, n)
+	s.retryData(ctx, func(member int) error {
+		if member == 0 {
+			return s.clus.Read(ctx, ino, off, n)
+		}
+		return s.clus.ReadReplica(ctx, ino, off, n, member)
+	})
 }
 
-// WriteData stores object data on the OSDs.
+// WriteData stores object data on the OSDs, advancing the acting
+// primary through the replication group on retries.
 func (s *CephStore) WriteData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
 	s.opCPU(ctx)
 	s.wireCPU(ctx, n)
-	s.clus.Write(ctx, ino, off, n)
+	s.retryData(ctx, func(member int) error {
+		return s.clus.WriteReplica(ctx, ino, off, n, member)
+	})
 }

@@ -142,3 +142,30 @@ func (c *Counter) OpsPerSec(window time.Duration) float64 {
 	}
 	return float64(c.Ops) / window.Seconds()
 }
+
+// FaultCounters aggregates a storage client's fault-handling activity:
+// how often operations were retried, completed on a non-primary
+// replica, or exhausted their deadline, and how long the client spent
+// backing off between attempts. Both the user-level client and the
+// kernel Ceph client expose one.
+type FaultCounters struct {
+	// Retries counts data-operation attempts beyond the first.
+	Retries uint64
+	// Failovers counts operations that completed against a replica
+	// other than the primary.
+	Failovers uint64
+	// DeadlineMisses counts operations that exhausted the per-op
+	// deadline or retry budget (for the kernel client, which blocks
+	// instead of failing: operations whose deadline would have expired).
+	DeadlineMisses uint64
+	// TimeDegraded is the total virtual time spent in retry backoff.
+	TimeDegraded time.Duration
+}
+
+// Add accumulates other into c (for summing per-client counters).
+func (c *FaultCounters) Add(other FaultCounters) {
+	c.Retries += other.Retries
+	c.Failovers += other.Failovers
+	c.DeadlineMisses += other.DeadlineMisses
+	c.TimeDegraded += other.TimeDegraded
+}

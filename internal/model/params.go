@@ -156,6 +156,23 @@ type Params struct {
 	// operation; the mature kernel client is leaner per-op.
 	KernelClientOpCost time.Duration
 
+	// --- Client fault tolerance (retry/failover against backend faults) ---
+
+	// ClientOpDeadline bounds the total time the user-level client
+	// spends retrying one data operation before giving up with an I/O
+	// error. The kernel client has no such bound (it blocks, like the
+	// real CephFS kernel mount) but counts when the deadline would have
+	// expired.
+	ClientOpDeadline time.Duration
+	// ClientRetryBase is the first retry backoff; subsequent retries
+	// double it deterministically up to ClientRetryCap.
+	ClientRetryBase time.Duration
+	// ClientRetryCap caps the exponential retry backoff.
+	ClientRetryCap time.Duration
+	// ClientMaxRetries bounds retry attempts per operation in the
+	// user-level client.
+	ClientMaxRetries int
+
 	// --- Union filesystems ---
 
 	// UnionLookupCost is per-branch lookup CPU in a union filesystem.
@@ -229,6 +246,11 @@ func Default() *Params {
 		ClientLockCopyFraction: 0.8,
 		ClientOpCost:           1500 * time.Nanosecond,
 		KernelClientOpCost:     900 * time.Nanosecond,
+
+		ClientOpDeadline: time.Second,
+		ClientRetryBase:  200 * time.Microsecond,
+		ClientRetryCap:   20 * time.Millisecond,
+		ClientMaxRetries: 64,
 
 		UnionLookupCost: 800 * time.Nanosecond,
 		CopyUpChunk:     1 << 20,

@@ -5,10 +5,22 @@
 package netsim
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/sim"
+)
+
+// Fault-injection errors. Both are returned after the caller has paid
+// the full time cost of the failed transfer, so retries compound
+// realistically.
+var (
+	// ErrPartitioned reports that the link is partitioned: the message
+	// never arrives and the sender times out.
+	ErrPartitioned = errors.New("netsim: link partitioned")
+	// ErrDropped reports that this particular message was lost.
+	ErrDropped = errors.New("netsim: message dropped")
 )
 
 // Link is one direction of a network interface: transfers serialize on
@@ -24,6 +36,13 @@ type Link struct {
 
 	bytes uint64
 	msgs  uint64
+
+	// Fault-injection state, armed and disarmed by scheduled windows
+	// (see internal/faults). All deterministic: no randomness.
+	extraLatency time.Duration
+	dropEvery    uint64 // drop every Nth message while armed (0 = off)
+	dropCount    uint64
+	partitioned  bool
 }
 
 // NewLink creates a unidirectional link.
@@ -43,10 +62,20 @@ func NewLink(eng *sim.Engine, name string, bytesPerSec int64, latency time.Durat
 
 // Transfer moves n bytes across the link, blocking the caller for
 // queueing + transmission + propagation. Transfers are chunked at the
-// MTU so concurrent flows interleave instead of convoying.
-func (l *Link) Transfer(p *sim.Proc, n int64) {
-	if n <= 0 {
-		n = 1
+// MTU so concurrent flows interleave instead of convoying. A zero-byte
+// transfer (a bare ack) pays propagation latency only. The returned
+// error is non-nil only under armed fault windows: a partitioned link
+// times out without delivering, and a drop window loses every Nth
+// message after its full transmission cost.
+func (l *Link) Transfer(p *sim.Proc, n int64) error {
+	if l.partitioned {
+		// The sender blocks for a timeout instead of a transmission; no
+		// bytes are delivered.
+		p.Sleep(l.latency + l.extraLatency)
+		return ErrPartitioned
+	}
+	if n < 0 {
+		n = 0
 	}
 	l.msgs++
 	l.bytes += uint64(n)
@@ -60,7 +89,14 @@ func (l *Link) Transfer(p *sim.Proc, n int64) {
 		l.xmit.Unlock(p)
 		n -= chunk
 	}
-	p.Sleep(l.latency)
+	p.Sleep(l.latency + l.extraLatency)
+	if l.dropEvery > 0 {
+		l.dropCount++
+		if l.dropCount%l.dropEvery == 0 {
+			return ErrDropped
+		}
+	}
+	return nil
 }
 
 // Bytes returns total bytes transferred.
@@ -68,6 +104,24 @@ func (l *Link) Bytes() uint64 { return l.bytes }
 
 // Messages returns total messages transferred.
 func (l *Link) Messages() uint64 { return l.msgs }
+
+// SetExtraLatency arms (or with 0 disarms) a latency spike on the link.
+func (l *Link) SetExtraLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.extraLatency = d
+}
+
+// SetDropEvery arms deterministic packet loss: every nth message on the
+// link is dropped after paying its transmission cost. n = 0 disarms.
+func (l *Link) SetDropEvery(n uint64) {
+	l.dropEvery = n
+	l.dropCount = 0
+}
+
+// SetPartitioned arms or disarms a full partition of the link.
+func (l *Link) SetPartitioned(v bool) { l.partitioned = v }
 
 // NIC is a duplex interface: independent transmit and receive links.
 type NIC struct {
@@ -81,6 +135,24 @@ func NewNIC(eng *sim.Engine, name string, bytesPerSec int64, latency time.Durati
 		TX: NewLink(eng, name+".tx", bytesPerSec, latency, mtu),
 		RX: NewLink(eng, name+".rx", bytesPerSec, latency/2, mtu),
 	}
+}
+
+// SetExtraLatency arms a latency spike on both directions of the NIC.
+func (n *NIC) SetExtraLatency(d time.Duration) {
+	n.TX.SetExtraLatency(d)
+	n.RX.SetExtraLatency(d)
+}
+
+// SetDropEvery arms deterministic loss on both directions of the NIC.
+func (n *NIC) SetDropEvery(every uint64) {
+	n.TX.SetDropEvery(every)
+	n.RX.SetDropEvery(every)
+}
+
+// SetPartitioned partitions or heals both directions of the NIC.
+func (n *NIC) SetPartitioned(v bool) {
+	n.TX.SetPartitioned(v)
+	n.RX.SetPartitioned(v)
 }
 
 // Fabric connects the client host to the server VMs. A request path
@@ -103,14 +175,20 @@ func NewFabric(eng *sim.Engine, params *model.Params, servers int) *Fabric {
 	return f
 }
 
-// Request moves n bytes from the client to server s (request direction).
-func (f *Fabric) Request(p *sim.Proc, s int, n int64) {
-	f.Client.TX.Transfer(p, n)
-	f.Servers[s].RX.Transfer(p, n)
+// Request moves n bytes from the client to server s (request
+// direction). The first failing hop wins: a message lost on the client
+// NIC never reaches the server link.
+func (f *Fabric) Request(p *sim.Proc, s int, n int64) error {
+	if err := f.Client.TX.Transfer(p, n); err != nil {
+		return err
+	}
+	return f.Servers[s].RX.Transfer(p, n)
 }
 
 // Reply moves n bytes from server s back to the client.
-func (f *Fabric) Reply(p *sim.Proc, s int, n int64) {
-	f.Servers[s].TX.Transfer(p, n)
-	f.Client.RX.Transfer(p, n)
+func (f *Fabric) Reply(p *sim.Proc, s int, n int64) error {
+	if err := f.Servers[s].TX.Transfer(p, n); err != nil {
+		return err
+	}
+	return f.Client.RX.Transfer(p, n)
 }

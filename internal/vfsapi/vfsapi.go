@@ -111,4 +111,7 @@ var (
 	ErrReadOnly = errors.New("read-only filesystem")
 	ErrBadFlags = errors.New("invalid open flags")
 	ErrClosed   = errors.New("handle is closed")
+	// ErrIO is returned when a client exhausts its retry budget against
+	// a faulted backend (crashed OSD, partitioned link) and gives up.
+	ErrIO = errors.New("input/output error")
 )
