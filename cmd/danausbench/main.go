@@ -6,9 +6,14 @@
 //	danausbench -list
 //	danausbench -exp fig6a [-scale quick|default|paper]
 //	danausbench -exp all -scale default
+//	danausbench -exp faultsweep -trace trace.json -metrics metrics.json
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. With -trace and/or
+// -metrics, every testbed built by the selected experiments records
+// cross-layer spans and per-tenant metrics (see OBSERVABILITY.md);
+// the trace loads in the Perfetto UI and -metrics accepts a .csv
+// suffix for the time-series alone.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -44,10 +50,34 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"faultsweep": runFaultSweep,
 }
 
+// obsRuns collects one recorder per testbed built while -trace or
+// -metrics is set, in construction order, for export at exit.
+var obsRuns []obs.Run
+
+// enableObservability points experiments.Observer at a recorder
+// factory: each testbed gets its own recorder (runs stay separable in
+// the exported artifacts) sampling utilization every 10 ms of virtual
+// time.
+func enableObservability() {
+	experiments.Observer = func(tb *core.Testbed) {
+		rec := obs.New(obs.Config{
+			Clock:          tb.Eng.Now,
+			SampleInterval: 10 * time.Millisecond,
+		})
+		tb.AttachObserver(rec)
+		obsRuns = append(obsRuns, obs.Run{
+			Label: fmt.Sprintf("run%d", len(obsRuns)),
+			Rec:   rec,
+		})
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick, default or paper")
 	list := flag.Bool("list", false, "list experiments")
+	tracePath := flag.String("trace", "", "write a Perfetto trace-event JSON of all runs to this file")
+	metricsPath := flag.String("metrics", "", "write per-tenant metrics of all runs to this file (.json or .csv)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -76,6 +106,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *tracePath != "" || *metricsPath != "" {
+		enableObservability()
+	}
+
 	if *exp == "all" {
 		names := make([]string, 0, len(experimentsByName))
 		for name := range experimentsByName {
@@ -85,15 +119,34 @@ func main() {
 		for _, name := range names {
 			runOne(name, scale)
 		}
+		exportObs(*tracePath, *metricsPath)
 		return
 	}
-	fn, ok := experimentsByName[*exp]
-	if !ok {
+	if _, ok := experimentsByName[*exp]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
-	_ = fn
 	runOne(*exp, scale)
+	exportObs(*tracePath, *metricsPath)
+}
+
+// exportObs writes the collected recorders to the requested artifact
+// files and reports where they landed.
+func exportObs(tracePath, metricsPath string) {
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, obsRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d run(s) -> %s\n", len(obsRuns), tracePath)
+	}
+	if metricsPath != "" {
+		if err := obs.WriteMetricsFile(metricsPath, obsRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %d run(s) -> %s\n", len(obsRuns), metricsPath)
+	}
 }
 
 func runOne(name string, scale experiments.Scale) {

@@ -1,0 +1,49 @@
+package danaus
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documentation entry points whose relative links
+// must resolve (the CI docs-lint step runs this test).
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"OBSERVABILITY.md",
+	"ROADMAP.md",
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)]+)\)`)
+
+// TestDocLinksResolve verifies every relative markdown link in the
+// documentation set points at a file or directory that exists.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexAny(target, "#?"); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			rel := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(rel); err != nil {
+				t.Errorf("%s: broken link %q (%v)", doc, m[1], err)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	// Flushers is the number of user-level writeback threads
 	// (default 1).
 	Flushers int
+	// Tenant is the pool the client serves, used to tag flusher
+	// writeback spans with their originating tenant. Defaults to Name.
+	Tenant string
+	// Obs, when non-nil, records flusher writeback spans and
+	// per-tenant client_lock wait attribution.
+	Obs *obs.Recorder
 }
 
 // Client is a user-level Ceph client. It implements vfsapi.FileSystem.
@@ -112,6 +119,9 @@ func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params, clus *cluster.Clu
 	}
 	if cfg.Flushers <= 0 {
 		cfg.Flushers = 1
+	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = cfg.Name
 	}
 	meter := cfg.Meter
 	if meter == nil {
@@ -325,9 +335,21 @@ func (c *Client) opCPU(ctx vfsapi.Ctx) {
 	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientOpCost)
 }
 
+// lockClient acquires client_lock, attributing any wait to the tenant
+// of the traced request in flight (no-op attribution otherwise).
+func (c *Client) lockClient(ctx vfsapi.Ctx) {
+	if ctx.Span == nil {
+		c.clientLock.Lock(ctx.P)
+		return
+	}
+	start := c.eng.Now()
+	c.clientLock.Lock(ctx.P)
+	ctx.Span.LockWait("client_lock", c.eng.Now()-start)
+}
+
 // lockedMeta runs fn holding client_lock with the standard hold charge.
 func (c *Client) lockedMeta(ctx vfsapi.Ctx, fn func()) {
-	c.clientLock.Lock(ctx.P)
+	c.lockClient(ctx)
 	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientLockHold)
 	fn()
 	c.clientLock.Unlock(ctx.P)
@@ -355,7 +377,7 @@ func (c *Client) copyData(ctx vfsapi.Ctx, n int64, write bool) {
 		fraction *= 0.25
 	}
 	under := time.Duration(float64(total) * fraction)
-	c.clientLock.Lock(ctx.P)
+	c.lockClient(ctx)
 	ctx.T.Exec(ctx.P, cpu.User, c.params.ClientLockHold+under)
 	c.clientLock.Unlock(ctx.P)
 	ctx.T.Exec(ctx.P, cpu.User, total-under)
@@ -462,6 +484,17 @@ func (c *Client) flusherLoop(p *sim.Proc) {
 
 func (c *Client) flushPass(ctx vfsapi.Ctx) {
 	const batch = 1 << 20
+	// The writeback span is opened lazily on the first dirty file;
+	// unlike the kernel flusher (which serves every mount on the host),
+	// the user-level flusher only ever works for its own pool — the
+	// tenant tag makes that containment visible in the trace.
+	var sp *obs.Span
+	var sc obs.Scope
+	var passTotal int64
+	defer func() {
+		sc.Exit()
+		sp.End(passTotal, nil)
+	}()
 	for {
 		now := c.eng.Now()
 		needed := c.dirtyBytes >= c.cfg.MaxDirty/2 ||
@@ -472,6 +505,11 @@ func (c *Client) flushPass(ctx vfsapi.Ctx) {
 		f := c.nextDirtyFile()
 		if f == nil {
 			return
+		}
+		if sp == nil && c.cfg.Obs != nil {
+			sp = c.cfg.Obs.StartSpan(ctx.P.ID(), c.cfg.Tenant, "writeback")
+			sc = sp.Enter(obs.LayerWriteback)
+			ctx.Span = sp
 		}
 		var exts []extent.Extent
 		c.lockedMeta(ctx, func() { exts = f.dirty.PopFirst(batch) })
@@ -484,6 +522,7 @@ func (c *Client) flushPass(ctx vfsapi.Ctx) {
 				c.stats.FlushedBytes += e.Len
 			}
 		}
+		passTotal += total
 		c.dirtyBytes -= total
 		if f.dirty.Len() == 0 {
 			c.removeDirty(f)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/vfsapi"
 )
 
@@ -36,6 +37,7 @@ func (c *Client) lookupAttr(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint6
 
 // Open opens or creates a file.
 func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if err := c.failIfCrashed(); err != nil {
 		return nil, err
 	}
@@ -97,6 +99,7 @@ func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsap
 
 // Stat returns metadata, preferring the client's newer size view.
 func (c *Client) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if err := c.failIfCrashed(); err != nil {
 		return vfsapi.FileInfo{}, err
 	}
@@ -113,6 +116,7 @@ func (c *Client) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
 
 // Mkdir creates a directory at the MDS.
 func (c *Client) Mkdir(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	return c.clus.MetaMkdir(ctx, path)
@@ -120,6 +124,7 @@ func (c *Client) Mkdir(ctx vfsapi.Ctx, path string) error {
 
 // Readdir lists a directory at the MDS.
 func (c *Client) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	c.opCPU(ctx)
 	c.wire(ctx, 512)
 	return c.clus.MetaReaddir(ctx, path)
@@ -127,6 +132,7 @@ func (c *Client) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error)
 
 // Unlink removes a file, dropping local cache state.
 func (c *Client) Unlink(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	if err := c.clus.MetaUnlink(ctx, path); err != nil {
@@ -148,6 +154,7 @@ func (c *Client) Unlink(ctx vfsapi.Ctx, path string) error {
 
 // Rmdir removes an empty directory at the MDS.
 func (c *Client) Rmdir(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	return c.clus.MetaRmdir(ctx, path)
@@ -155,6 +162,7 @@ func (c *Client) Rmdir(ctx vfsapi.Ctx, path string) error {
 
 // Rename moves a file at the MDS and rewrites cached entries.
 func (c *Client) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	if err := c.clus.MetaRename(ctx, oldPath, newPath); err != nil {
@@ -192,6 +200,7 @@ func (h *chandle) Size() int64 { return h.f.size }
 
 // Read serves from the object cache, fetching misses from the OSDs.
 func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if err := h.c.failIfCrashed(); err != nil {
 		return 0, err
 	}
@@ -279,6 +288,7 @@ func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 // Write copies into the object cache and marks dirty, throttling at the
 // client's dirty limit.
 func (h *chandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if err := h.c.failIfCrashed(); err != nil {
 		return 0, err
 	}
@@ -306,6 +316,7 @@ func (h *chandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 
 // Append writes at the end of file.
 func (h *chandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	off := h.f.size
 	_, err := h.Write(ctx, off, n)
 	return off, err
@@ -313,6 +324,7 @@ func (h *chandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
 
 // Fsync drains this file's dirty data synchronously.
 func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if h.closed {
 		return vfsapi.ErrClosed
 	}
@@ -351,6 +363,7 @@ func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
 
 // Close releases the handle, pushing the size for written files.
 func (h *chandle) Close(ctx vfsapi.Ctx) error {
+	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if h.closed {
 		return vfsapi.ErrClosed
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/nstree"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -230,7 +231,11 @@ const (
 // --- Metadata operations (request/response with the MDS) ---
 
 func (c *Cluster) mdsRPC(ctx vfsapi.Ctx, extraReply int64, op func() error) error {
-	if err := c.fabric.Request(ctx.P, c.mdsServer(), metaReqBytes); err != nil {
+	defer ctx.Span.Enter(obs.LayerMDS).Exit()
+	nsc := ctx.Span.Enter(obs.LayerNet)
+	err := c.fabric.Request(ctx.P, c.mdsServer(), metaReqBytes)
+	nsc.Exit()
+	if err != nil {
 		return err
 	}
 	for c.mds.stalled {
@@ -239,9 +244,12 @@ func (c *Cluster) mdsRPC(ctx vfsapi.Ctx, extraReply int64, op func() error) erro
 	c.mds.cpu.Lock(ctx.P)
 	ctx.P.Sleep(c.params.MDSOpCost)
 	c.mds.ops++
-	err := op()
+	err = op()
 	c.mds.cpu.Unlock(ctx.P)
-	if rerr := c.fabric.Reply(ctx.P, c.mdsServer(), metaRepBytes+extraReply); rerr != nil && err == nil {
+	nsc = ctx.Span.Enter(obs.LayerNet)
+	rerr := c.fabric.Reply(ctx.P, c.mdsServer(), metaRepBytes+extraReply)
+	nsc.Exit()
+	if rerr != nil && err == nil {
 		err = rerr
 	}
 	return err
@@ -367,10 +375,16 @@ func (c *Cluster) WriteReplica(ctx vfsapi.Ctx, ino uint64, off, n int64, acting 
 		a := acting % c.replication
 		as := (s + a) % len(c.osds)
 		id := objectID{ino, objIdx}
-		if err := c.fabric.Request(ctx.P, as, dataHdrBytes+seg); err != nil {
+		nsc := ctx.Span.Enter(obs.LayerNet)
+		err := c.fabric.Request(ctx.P, as, dataHdrBytes+seg)
+		nsc.Exit()
+		if err != nil {
 			return err
 		}
-		if err := c.osds[as].write(ctx.P, id, objOff, seg); err != nil {
+		osc := ctx.Span.Enter(obs.LayerOSD)
+		err = c.osds[as].write(ctx.P, id, objOff, seg)
+		osc.Exit()
+		if err != nil {
 			return err
 		}
 		for r := 0; r < c.replication; r++ {
@@ -387,15 +401,24 @@ func (c *Cluster) WriteReplica(ctx vfsapi.Ctx, ino uint64, off, n int64, acting 
 			// in plus its media write. A member that became unreachable
 			// or crashed mid-write is backfilled later instead of
 			// failing the op.
-			if err := c.fabric.Servers[rs].RX.Transfer(ctx.P, seg); err != nil {
+			nsc = ctx.Span.Enter(obs.LayerNet)
+			err = c.fabric.Servers[rs].RX.Transfer(ctx.P, seg)
+			nsc.Exit()
+			if err != nil {
 				osd.noteBackfill(id, objOff+seg)
 				continue
 			}
-			if err := osd.write(ctx.P, id, objOff, seg); err != nil {
+			osc = ctx.Span.Enter(obs.LayerOSD)
+			err = osd.write(ctx.P, id, objOff, seg)
+			osc.Exit()
+			if err != nil {
 				osd.noteBackfill(id, objOff+seg)
 			}
 		}
-		return c.fabric.Reply(ctx.P, as, dataRepBytes)
+		nsc = ctx.Span.Enter(obs.LayerNet)
+		err = c.fabric.Reply(ctx.P, as, dataRepBytes)
+		nsc.Exit()
+		return err
 	})
 }
 
@@ -437,13 +460,22 @@ func (c *Cluster) readObject(ctx vfsapi.Ctx, ino uint64, objIdx, objOff, seg int
 		}
 	}
 	ms := (s + m) % len(c.osds)
-	if err := c.fabric.Request(ctx.P, ms, dataHdrBytes); err != nil {
+	nsc := ctx.Span.Enter(obs.LayerNet)
+	err := c.fabric.Request(ctx.P, ms, dataHdrBytes)
+	nsc.Exit()
+	if err != nil {
 		return err
 	}
-	if err := c.osds[ms].read(ctx.P, objectID{ino, objIdx}, objOff, seg); err != nil {
+	osc := ctx.Span.Enter(obs.LayerOSD)
+	err = c.osds[ms].read(ctx.P, objectID{ino, objIdx}, objOff, seg)
+	osc.Exit()
+	if err != nil {
 		return err
 	}
-	return c.fabric.Reply(ctx.P, ms, dataRepBytes+seg)
+	nsc = ctx.Span.Enter(obs.LayerNet)
+	err = c.fabric.Reply(ctx.P, ms, dataRepBytes+seg)
+	nsc.Exit()
+	return err
 }
 
 func (c *Cluster) eachObject(off, n int64, fn func(objIdx, objOff, seg int64) error) error {

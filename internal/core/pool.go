@@ -123,6 +123,8 @@ func (p *Pool) newClient(spec MountSpec) *cephclient.Client {
 		Acct:       p.Acct,
 		Meter:      meter,
 		Flushers:   2,
+		Tenant:     p.Name,
+		Obs:        p.tb.Obs,
 	})
 	p.clients = append(p.clients, c)
 	p.Memory.Add(meter)
@@ -137,6 +139,7 @@ func (p *Pool) newKernelMount(spec MountSpec) *kern.Mount {
 	meter := memacct.NewMeter(fmt.Sprintf("%s.pagc%d", p.Name, p.mounts))
 	m := p.tb.Kernel.Mount(kern.NewCephStore(p.tb.Kernel, p.tb.Cluster), kern.MountConfig{
 		Name:     fmt.Sprintf("%s.cephfs%d", p.Name, p.mounts),
+		Tenant:   p.Name,
 		MemLimit: p.Mem,
 		MaxDirty: p.Mem / 2, // paper: max dirty = 50% of pool RAM
 		Meter:    meter,
@@ -151,6 +154,7 @@ func (p *Pool) pagedOver(inner vfsapi.FileSystem, label string) (*kern.Mount, vf
 	meter := memacct.NewMeter(fmt.Sprintf("%s.%s.pagc%d", p.Name, label, p.mounts))
 	m := p.tb.Kernel.Mount(kern.NewFSStore(inner), kern.MountConfig{
 		Name:     fmt.Sprintf("%s.%s%d", p.Name, label, p.mounts),
+		Tenant:   p.Name,
 		MemLimit: p.Mem,
 		MaxDirty: p.Mem / 2,
 		Meter:    meter,
@@ -285,6 +289,12 @@ func (p *Pool) Mount(spec MountSpec) (*MountResult, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown configuration %v", spec.Config)
 	}
+	// The observability facade sits on top of the whole stack: every
+	// operation entering the container's mount opens a request span
+	// tagged with the pool. No-op (returns the inner fs) when tracing
+	// is off.
+	res.Default = vfsapi.Traced(res.Default, p.tb.Obs, p.Name)
+	res.Legacy = vfsapi.Traced(res.Legacy, p.tb.Obs, p.Name)
 	return res, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/kern"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -33,8 +34,13 @@ type Testbed struct {
 	LocalFS *kern.Mount
 	// LocalStore is the backing store of LocalFS (for provisioning).
 	LocalStore *kern.LocalStore
+	// Obs is the attached observability recorder (nil = disabled). Set
+	// it via AttachObserver before creating pools so their mounts are
+	// traced.
+	Obs *obs.Recorder
 
-	pools []*Pool
+	pools   []*Pool
+	stopped bool
 }
 
 // TestbedConfig sizes the testbed.
@@ -108,6 +114,7 @@ func (tb *Testbed) Pools() []*Pool { return tb.pools }
 // Stop terminates all background service threads (kernel flushers and
 // every pool's user-level clients) so the engine can drain.
 func (tb *Testbed) Stop() {
+	tb.stopped = true
 	tb.Kernel.Stop()
 	for _, p := range tb.pools {
 		p.Stop()

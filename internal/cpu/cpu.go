@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -33,6 +34,34 @@ type CPU struct {
 	// per-call allocations. Safe without locking: exactly one goroutine
 	// runs at any instant in the simulation.
 	runPool []*execRun
+
+	rec *obs.Recorder
+}
+
+// SetRecorder attaches an observability recorder; every executed core
+// slice is then mirrored to it as a per-core trace event. Nil detaches.
+func (c *CPU) SetRecorder(rec *obs.Recorder) { c.rec = rec }
+
+// kindName renders a TimeKind for trace tags.
+func kindName(k TimeKind) string {
+	if k == Kernel {
+		return "kernel"
+	}
+	return "user"
+}
+
+// recordSlice mirrors one just-charged core slice (ending now) to the
+// recorder. Called only at the points that charge busyTime, so the
+// trace's per-core tracks reconstruct exactly the scheduler's view.
+func (c *CPU) recordSlice(core int, d time.Duration, acct *Account, k TimeKind) {
+	if c.rec == nil {
+		return
+	}
+	name := ""
+	if acct != nil {
+		name = acct.Name
+	}
+	c.rec.Core(core, c.eng.Now()-d, d, name, kindName(k))
 }
 
 type coreState struct {
@@ -142,6 +171,7 @@ func (t *Thread) Exec(p *sim.Proc, k TimeKind, d time.Duration) {
 	c.cores[core].busyTime += d
 	t.acct.addTime(k, d)
 	t.lastCore = core
+	c.recordSlice(core, d, t.acct, k)
 	c.release(core)
 }
 
@@ -199,6 +229,7 @@ func (c *CPU) runCoalesced(p *sim.Proc, t *Thread, k TimeKind, core int, d time.
 		c.cores[r.core].busyTime += r.slice
 		t.acct.addTime(k, r.slice)
 		t.lastCore = r.core
+		c.recordSlice(r.core, r.slice, t.acct, k)
 		c.release(r.core)
 		break
 	}
@@ -214,6 +245,7 @@ func (r *execRun) fire() {
 	c.cores[r.core].busyTime += r.slice
 	r.t.acct.addTime(r.kind, r.slice)
 	r.t.lastCore = r.core
+	c.recordSlice(r.core, r.slice, r.t.acct, r.kind)
 	r.d -= r.slice
 	c.release(r.core)
 	core, ok := c.tryAcquire(r.t)

@@ -74,6 +74,12 @@ func (s Scale) Params() *model.Params {
 	return p
 }
 
+// Observer, when non-nil, is invoked on every freshly built testbed
+// before any pool exists — the hook through which danausbench attaches
+// an observability recorder (core.Testbed.AttachObserver) to the runs
+// of an experiment. Nil keeps experiments observation-free.
+var Observer func(tb *core.Testbed)
+
 // rig bundles a testbed under experiment control.
 type rig struct {
 	tb *core.Testbed
@@ -84,7 +90,11 @@ func newRig(cores int) *rig {
 }
 
 func newScaledRig(cores int, scale Scale) *rig {
-	return &rig{tb: core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params()})}
+	tb := core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params()})
+	if Observer != nil {
+		Observer(tb)
+	}
+	return &rig{tb: tb}
 }
 
 // runMaster executes fn as the orchestration process and drains the

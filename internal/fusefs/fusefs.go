@@ -13,6 +13,7 @@ package fusefs
 import (
 	"repro/internal/cpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -74,6 +75,7 @@ func (t *Transport) Inner() vfsapi.FileSystem { return t.inner }
 // back, and syscall exit. payloadIn/payloadOut are the extra data
 // copies through the kernel in each direction.
 func (t *Transport) crossing(ctx vfsapi.Ctx, payloadIn, payloadOut int64, fn func(dctx vfsapi.Ctx) error) error {
+	defer ctx.Span.Enter(obs.LayerFUSE).Exit()
 	p := t.params
 	// Application enters the kernel and hands the request to FUSE.
 	ctx.T.ModeSwitch(ctx.P)
@@ -90,7 +92,7 @@ func (t *Transport) crossing(ctx vfsapi.Ctx, payloadIn, payloadOut int64, fn fun
 	defer t.slots.Release(1)
 	dth := t.daemonThreads[t.next%len(t.daemonThreads)]
 	t.next++
-	dctx := vfsapi.Ctx{P: ctx.P, T: dth}
+	dctx := vfsapi.Ctx{P: ctx.P, T: dth, Span: ctx.Span}
 	dth.ModeSwitch(ctx.P) // daemon returns from read(2) on /dev/fuse
 	if payloadIn > 0 {
 		dth.Exec(ctx.P, cpu.Kernel, p.CopyTime(payloadIn))

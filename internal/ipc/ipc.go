@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -143,6 +144,7 @@ func (t *Transport) queueFor(th *cpu.Thread) *queueState {
 // enqueue by the app thread, service-side dispatch and execution on the
 // pinned service thread, all at user level.
 func (t *Transport) call(ctx vfsapi.Ctx, fn func(dctx vfsapi.Ctx) error) error {
+	defer ctx.Span.Enter(obs.LayerIPC).Exit()
 	t.calls++
 	q := t.queueFor(ctx.T)
 	p := t.params
@@ -169,7 +171,7 @@ func (t *Transport) call(ctx vfsapi.Ctx, fn func(dctx vfsapi.Ctx) error) error {
 	svc := q.svcThreads[q.next%len(q.svcThreads)]
 	q.next++
 
-	dctx := vfsapi.Ctx{P: ctx.P, T: svc}
+	dctx := vfsapi.Ctx{P: ctx.P, T: svc, Span: ctx.Span}
 	q.dispatch.Lock(ctx.P)
 	svc.Exec(ctx.P, cpu.User, p.IPCEnqueueCost)
 	q.dispatch.Unlock(ctx.P)

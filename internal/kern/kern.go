@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -42,6 +43,28 @@ type Kernel struct {
 	flushers   int
 	stopped    bool
 	inodeLocks []*sim.Mutex // registry for lock statistics
+
+	rec *obs.Recorder
+}
+
+// SetRecorder attaches an observability recorder: kernel flusher
+// passes then open writeback spans tagged with the originating
+// tenant, and traced requests get per-tenant lock-wait attribution on
+// the shared kernel locks. Nil detaches.
+func (k *Kernel) SetRecorder(rec *obs.Recorder) { k.rec = rec }
+
+// lockSpan acquires mu, attributing any wait to the tenant of the
+// request being served (ctx.Span) under the given lock name. Without
+// an active span it is exactly mu.Lock: the extra clock reads are
+// engine-passive, so traced and untraced runs schedule identically.
+func (k *Kernel) lockSpan(ctx vfsapi.Ctx, mu *sim.Mutex, name string) {
+	if ctx.Span == nil {
+		mu.Lock(ctx.P)
+		return
+	}
+	start := k.eng.Now()
+	mu.Lock(ctx.P)
+	ctx.Span.LockWait(name, k.eng.Now()-start)
 }
 
 // New creates the host kernel and starts its writeback flusher threads.
@@ -106,6 +129,28 @@ func (k *Kernel) LockStats() sim.LockStats {
 	return agg
 }
 
+// LockBreakdown returns per-lock-class statistics — the two global
+// locks individually plus all inode mutexes aggregated — for the
+// observability harvest (host-level rows of the metrics registry).
+func (k *Kernel) LockBreakdown() map[string]sim.LockStats {
+	var imutex sim.LockStats
+	for _, m := range k.inodeLocks {
+		s := m.Stats()
+		imutex.Acquisitions += s.Acquisitions
+		imutex.Contended += s.Contended
+		imutex.TotalWait += s.TotalWait
+		imutex.TotalHold += s.TotalHold
+		if s.MaxWait > imutex.MaxWait {
+			imutex.MaxWait = s.MaxWait
+		}
+	}
+	return map[string]sim.LockStats{
+		"lru_lock": k.lruLock.Stats(),
+		"wb_lock":  k.writebackLock.Stats(),
+		"i_mutex":  imutex,
+	}
+}
+
 // ResetLockStats zeroes all kernel lock statistics (measurement window
 // boundary).
 func (k *Kernel) ResetLockStats() {
@@ -128,10 +173,10 @@ func (k *Kernel) newInodeLock() *sim.Mutex {
 // 512-byte requests) use it so the lock pressure the stream exerts on
 // other tenants is preserved (the Fig 1b mechanism).
 func (k *Kernel) SmallOpLockStress(ctx vfsapi.Ctx, ops int) {
-	k.lruLock.Lock(ctx.P)
+	k.lockSpan(ctx, k.lruLock, "lru_lock")
 	ctx.T.Exec(ctx.P, cpu.Kernel, time.Duration(ops)*k.params.LRULockHoldPerPage)
 	k.lruLock.Unlock(ctx.P)
-	k.writebackLock.Lock(ctx.P)
+	k.lockSpan(ctx, k.writebackLock, "wb_lock")
 	ctx.T.Exec(ctx.P, cpu.Kernel, time.Duration(ops)*k.params.WritebackLockHold)
 	k.writebackLock.Unlock(ctx.P)
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/extent"
 	"repro/internal/memacct"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfsapi"
 )
@@ -31,6 +32,10 @@ type Store interface {
 type MountConfig struct {
 	// Name identifies the mount in diagnostics.
 	Name string
+	// Tenant is the pool the mount's data belongs to, used to tag
+	// flusher writeback spans with their originating tenant (the pool
+	// whose dirty data recruited the flusher). Defaults to Name.
+	Tenant string
 	// MemLimit bounds the page-cache bytes this mount may hold (the
 	// cgroup memory reservation of its pool).
 	MemLimit int64
@@ -92,6 +97,9 @@ func (k *Kernel) Mount(store Store, cfg MountConfig) *Mount {
 	if cfg.MaxDirty <= 0 {
 		cfg.MaxDirty = cfg.MemLimit / 2
 	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = cfg.Name
+	}
 	meter := cfg.Meter
 	if meter == nil {
 		meter = memacct.NewMeter(cfg.Name + ".pagecache")
@@ -146,7 +154,7 @@ func (m *Mount) touch(f *fileState) {
 // for touching n bytes of page structures.
 func (m *Mount) chargeLRU(ctx vfsapi.Ctx, n int64, fn func()) {
 	k := m.kern
-	k.lruLock.Lock(ctx.P)
+	k.lockSpan(ctx, k.lruLock, "lru_lock")
 	hold := time.Duration(k.params.Pages(n)) * k.params.LRULockHoldPerPage
 	if hold > 0 {
 		ctx.T.Exec(ctx.P, cpu.Kernel, hold)
@@ -161,7 +169,7 @@ func (m *Mount) chargeLRU(ctx vfsapi.Ctx, n int64, fn func()) {
 // pages does not touch the LRU lists.
 func (m *Mount) cacheInsert(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	k := m.kern
-	k.lruLock.Lock(ctx.P)
+	k.lockSpan(ctx, k.lruLock, "lru_lock")
 	added := f.cached.Insert(off, n)
 	m.meter.Alloc(added)
 	m.touch(f)
@@ -220,7 +228,7 @@ func reclaimClean(f *fileState) int64 {
 // until the flushers bring it back down.
 func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	k := m.kern
-	k.writebackLock.Lock(ctx.P)
+	k.lockSpan(ctx, k.writebackLock, "wb_lock")
 	ctx.T.Exec(ctx.P, cpu.Kernel, k.params.WritebackLockHold)
 	newly := f.dirty.Insert(off, n)
 	if newly > 0 {
@@ -277,6 +285,13 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 	k := m.kern
 	const batch = 1 << 20
 	progressed := false
+	// The writeback span is opened lazily on the first dirty file and
+	// tagged with the mount's tenant: the flusher runs on the kernel's
+	// account, but the work — and the cores and locks it consumes — is
+	// attributed to the pool whose dirty data recruited it.
+	var sp *obs.Span
+	var sc obs.Scope
+	var passTotal int64
 	for {
 		now := k.eng.Now()
 		needed := m.dirtyBytes >= m.bgThresh ||
@@ -288,9 +303,14 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 		if f == nil {
 			break
 		}
+		if sp == nil && k.rec != nil {
+			sp = k.rec.StartSpan(ctx.P.ID(), m.cfg.Tenant, "writeback")
+			sc = sp.Enter(obs.LayerWriteback)
+			ctx.Span = sp
+		}
 		progressed = true
 		f.flushing = true
-		k.writebackLock.Lock(ctx.P)
+		k.lockSpan(ctx, k.writebackLock, "wb_lock")
 		ctx.T.Exec(ctx.P, cpu.Kernel, k.params.WritebackLockHold)
 		exts := f.dirty.PopFirst(batch)
 		k.writebackLock.Unlock(ctx.P)
@@ -304,7 +324,7 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 		// application's writes to this file against flusher progress —
 		// the i_mutex delays the paper's kernel profiling identified.
 		// The store transfer itself proceeds under page locks only.
-		f.imutex.Lock(ctx.P)
+		k.lockSpan(ctx, f.imutex, "i_mutex")
 		ctx.T.ExecBytes(ctx.P, cpu.Kernel, total, k.params.FlusherBytesPerSec)
 		f.imutex.Unlock(ctx.P)
 		for _, e := range exts {
@@ -313,6 +333,7 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 			}
 		}
 		f.flushing = false
+		passTotal += total
 		m.updateFlushRate(total)
 		m.dirtyBytes -= total
 		if f.dirty.Len() == 0 {
@@ -323,6 +344,8 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 		}
 		m.throttleQ.Broadcast()
 	}
+	sc.Exit()
+	sp.End(passTotal, nil)
 	m.flushing--
 	return progressed
 }

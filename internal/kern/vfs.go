@@ -2,6 +2,7 @@ package kern
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/vfsapi"
 )
 
@@ -24,20 +25,23 @@ func NewSyscalls(k *Kernel, inner vfsapi.FileSystem) *Syscalls {
 // Inner returns the wrapped filesystem.
 func (s *Syscalls) Inner() vfsapi.FileSystem { return s.inner }
 
-func (s *Syscalls) enter(ctx vfsapi.Ctx) {
+func (s *Syscalls) enter(ctx vfsapi.Ctx) obs.Scope {
+	sc := ctx.Span.Enter(obs.LayerSyscall)
 	ctx.T.ModeSwitch(ctx.P)
 	ctx.T.Exec(ctx.P, cpu.Kernel, s.kern.params.VFSOpCost)
+	return sc
 }
 
-func (s *Syscalls) exit(ctx vfsapi.Ctx) {
+func (s *Syscalls) exit(ctx vfsapi.Ctx, sc obs.Scope) {
 	ctx.T.ModeSwitch(ctx.P)
+	sc.Exit()
 }
 
 // Open enters the kernel, dispatches, and returns a cost-wrapped handle.
 func (s *Syscalls) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	h, err := s.inner.Open(ctx, path, flags)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -46,49 +50,49 @@ func (s *Syscalls) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfs
 
 // Stat performs a syscall-wrapped Stat.
 func (s *Syscalls) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	info, err := s.inner.Stat(ctx, path)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return info, err
 }
 
 // Mkdir performs a syscall-wrapped Mkdir.
 func (s *Syscalls) Mkdir(ctx vfsapi.Ctx, path string) error {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	err := s.inner.Mkdir(ctx, path)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return err
 }
 
 // Readdir performs a syscall-wrapped Readdir.
 func (s *Syscalls) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	ents, err := s.inner.Readdir(ctx, path)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return ents, err
 }
 
 // Unlink performs a syscall-wrapped Unlink.
 func (s *Syscalls) Unlink(ctx vfsapi.Ctx, path string) error {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	err := s.inner.Unlink(ctx, path)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return err
 }
 
 // Rmdir performs a syscall-wrapped Rmdir.
 func (s *Syscalls) Rmdir(ctx vfsapi.Ctx, path string) error {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	err := s.inner.Rmdir(ctx, path)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return err
 }
 
 // Rename performs a syscall-wrapped Rename.
 func (s *Syscalls) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
-	s.enter(ctx)
+	sc := s.enter(ctx)
 	err := s.inner.Rename(ctx, oldPath, newPath)
-	s.exit(ctx)
+	s.exit(ctx, sc)
 	return err
 }
 
@@ -101,36 +105,36 @@ func (h *syscallHandle) Path() string { return h.inner.Path() }
 func (h *syscallHandle) Size() int64  { return h.inner.Size() }
 
 func (h *syscallHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
-	h.s.enter(ctx)
+	sc := h.s.enter(ctx)
 	got, err := h.inner.Read(ctx, off, n)
-	h.s.exit(ctx)
+	h.s.exit(ctx, sc)
 	return got, err
 }
 
 func (h *syscallHandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
-	h.s.enter(ctx)
+	sc := h.s.enter(ctx)
 	got, err := h.inner.Write(ctx, off, n)
-	h.s.exit(ctx)
+	h.s.exit(ctx, sc)
 	return got, err
 }
 
 func (h *syscallHandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
-	h.s.enter(ctx)
+	sc := h.s.enter(ctx)
 	off, err := h.inner.Append(ctx, n)
-	h.s.exit(ctx)
+	h.s.exit(ctx, sc)
 	return off, err
 }
 
 func (h *syscallHandle) Fsync(ctx vfsapi.Ctx) error {
-	h.s.enter(ctx)
+	sc := h.s.enter(ctx)
 	err := h.inner.Fsync(ctx)
-	h.s.exit(ctx)
+	h.s.exit(ctx, sc)
 	return err
 }
 
 func (h *syscallHandle) Close(ctx vfsapi.Ctx) error {
-	h.s.enter(ctx)
+	sc := h.s.enter(ctx)
 	err := h.inner.Close(ctx)
-	h.s.exit(ctx)
+	h.s.exit(ctx, sc)
 	return err
 }

@@ -41,6 +41,11 @@ func bucketValue(idx int) int64 {
 	}
 	exp := idx/subBuckets + 4
 	sub := idx % subBuckets
+	// The top clamped buckets (exp >= 63) would overflow the int64
+	// shifts below; saturate instead of wrapping negative.
+	if exp >= 63 {
+		return math.MaxInt64
+	}
 	return (1 << uint(exp)) | (int64(sub) << uint(exp-5))
 }
 
@@ -67,7 +72,7 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
-// Mean returns the average sample.
+// Mean returns the average sample, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {
 		return 0
@@ -87,6 +92,9 @@ func (h *Histogram) Min() time.Duration {
 func (h *Histogram) Max() time.Duration { return h.max }
 
 // Quantile returns the q-quantile (0 < q <= 1), e.g. 0.99 for p99.
+// It returns 0 when the histogram is empty; q <= 0 resolves to the
+// minimum sample and q > 1 to the maximum. Results are clamped to
+// [Min, Max], so single-bucket histograms report exact values.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0

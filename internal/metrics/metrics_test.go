@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -89,6 +90,67 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 			t.Fatalf("quantile %v out of [min,max]", v)
 		}
 		prev = v
+	}
+}
+
+// Regression: bucketValue must not overflow for the top clamped
+// buckets (exp >= 63 used to wrap negative), and Record/Quantile must
+// stay well defined at extreme durations.
+func TestBucketValueSaturation(t *testing.T) {
+	top := len(NewHistogram().buckets) - 1
+	for idx := top - 3*subBuckets; idx <= top; idx++ {
+		if v := bucketValue(idx); v < 0 {
+			t.Fatalf("bucketValue(%d) = %d, negative (overflow)", idx, v)
+		}
+	}
+	prev := int64(-1)
+	for idx := 0; idx <= top; idx++ {
+		v := bucketValue(idx)
+		if v < prev {
+			t.Fatalf("bucketValue not monotone at %d: %d < %d", idx, v, prev)
+		}
+		prev = v
+	}
+	h := NewHistogram()
+	huge := time.Duration(math.MaxInt64)
+	h.Record(huge)
+	if got := h.Quantile(0.5); got != huge {
+		t.Fatalf("Quantile(0.5) after max-duration sample = %v, want %v", got, huge)
+	}
+	if got := h.Quantile(1.0); got != huge {
+		t.Fatalf("Quantile(1.0) = %v, want %v", got, huge)
+	}
+}
+
+// Regression: a single-sample (single-bucket) histogram must report
+// that exact value for every quantile, the mean, min and max.
+func TestHistogramSingleBucket(t *testing.T) {
+	for _, d := range []time.Duration{0, 1, 17, time.Microsecond, 3 * time.Second} {
+		h := NewHistogram()
+		h.Record(d)
+		h.Record(d)
+		h.Record(d)
+		for _, q := range []float64{-1, 0, 0.001, 0.5, 0.99, 1.0, 2.0} {
+			if got := h.Quantile(q); got != d {
+				t.Fatalf("Quantile(%v) of constant %v histogram = %v", q, d, got)
+			}
+		}
+		if h.Mean() != d || h.Min() != d || h.Max() != d {
+			t.Fatalf("Mean/Min/Max of constant %v = %v/%v/%v", d, h.Mean(), h.Min(), h.Max())
+		}
+	}
+}
+
+// Regression: count==0 returns defined zeros even for out-of-range q.
+func TestHistogramEmptyQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", h.Mean())
 	}
 }
 

@@ -160,7 +160,6 @@ func (e *Engine) ScheduleWakeAfter(p *Proc, d time.Duration) {
 	e.scheduleWake(p, e.now+d)
 }
 
-
 // scheduleWake arranges for p to resume at absolute time at. A parked
 // process must have exactly one pending wake: double wakes corrupt the
 // park/resume pairing, so they are rejected loudly.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/vfsapi"
 )
 
@@ -198,6 +199,7 @@ func (u *Union) copyUp(ctx vfsapi.Ctx, path string, src int, size int64, truncat
 // Open opens path, performing copy-up when a lower file is opened for
 // writing.
 func (u *Union) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	src, info, err := u.resolve(ctx, path)
 	switch {
 	case err == nil:
@@ -228,12 +230,14 @@ func (u *Union) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi
 
 // Stat resolves path through the branch stack.
 func (u *Union) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	_, info, err := u.resolve(ctx, path)
 	return info, err
 }
 
 // Mkdir creates a directory in the top branch.
 func (u *Union) Mkdir(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	if !u.top().Writable {
 		return vfsapi.ErrReadOnly
 	}
@@ -268,6 +272,7 @@ func (u *Union) Mkdir(ctx vfsapi.Ctx, path string) error {
 // Readdir merges the directory contents of every branch, hiding
 // whiteouts and deduplicating by name (top branch wins).
 func (u *Union) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	seen := map[string]vfsapi.DirEntry{}
 	found := false
 	prefix := strings.TrimSuffix(path, "/")
@@ -309,6 +314,7 @@ func (u *Union) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) 
 // Unlink removes path: deleted from the top branch if present there,
 // and whited out if it exists in any lower branch.
 func (u *Union) Unlink(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	src, info, err := u.resolve(ctx, path)
 	if err != nil {
 		return err
@@ -348,6 +354,7 @@ func (u *Union) chargeWhiteout(ctx vfsapi.Ctx, path string) {
 
 // Rmdir removes a directory if the merged view shows it empty.
 func (u *Union) Rmdir(ctx vfsapi.Ctx, path string) error {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	src, info, err := u.resolve(ctx, path)
 	if err != nil {
 		return err
@@ -389,6 +396,7 @@ func (u *Union) Rmdir(ctx vfsapi.Ctx, path string) error {
 // (the Unionfs strategy for cross-branch renames); same-branch renames
 // on the top branch pass through.
 func (u *Union) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	defer ctx.Span.Enter(obs.LayerUnion).Exit()
 	src, info, err := u.resolve(ctx, oldPath)
 	if err != nil {
 		return err

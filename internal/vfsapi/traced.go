@@ -1,0 +1,131 @@
+package vfsapi
+
+import "repro/internal/obs"
+
+// Traced wraps fs so every operation entering it opens a request span
+// tagged with tenant, propagated via Ctx.Span, and ended (with byte
+// count and error flag) when the operation returns. It is the facade
+// boundary of the observability layer: the testbed wraps each pool's
+// mounted filesystem with it. A nil recorder returns fs unchanged, so
+// the disabled path has zero wrapping overhead.
+func Traced(fs FileSystem, rec *obs.Recorder, tenant string) FileSystem {
+	if rec == nil || fs == nil {
+		return fs
+	}
+	return &tracedFS{inner: fs, rec: rec, tenant: tenant}
+}
+
+type tracedFS struct {
+	inner  FileSystem
+	rec    *obs.Recorder
+	tenant string
+}
+
+func (t *tracedFS) begin(ctx Ctx, op string) (Ctx, *obs.Span) {
+	if ctx.Span != nil {
+		// Already inside a traced request (nested facade); keep it.
+		return ctx, nil
+	}
+	proc := 0
+	if ctx.P != nil {
+		proc = ctx.P.ID()
+	}
+	sp := t.rec.StartSpan(proc, t.tenant, op)
+	ctx.Span = sp
+	return ctx, sp
+}
+
+func (t *tracedFS) Open(ctx Ctx, path string, flags OpenFlag) (Handle, error) {
+	ctx, sp := t.begin(ctx, "open")
+	h, err := t.inner.Open(ctx, path, flags)
+	sp.End(0, err)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedHandle{inner: h, fs: t}, nil
+}
+
+func (t *tracedFS) Stat(ctx Ctx, path string) (FileInfo, error) {
+	ctx, sp := t.begin(ctx, "stat")
+	fi, err := t.inner.Stat(ctx, path)
+	sp.End(0, err)
+	return fi, err
+}
+
+func (t *tracedFS) Mkdir(ctx Ctx, path string) error {
+	ctx, sp := t.begin(ctx, "mkdir")
+	err := t.inner.Mkdir(ctx, path)
+	sp.End(0, err)
+	return err
+}
+
+func (t *tracedFS) Readdir(ctx Ctx, path string) ([]DirEntry, error) {
+	ctx, sp := t.begin(ctx, "readdir")
+	ents, err := t.inner.Readdir(ctx, path)
+	sp.End(0, err)
+	return ents, err
+}
+
+func (t *tracedFS) Unlink(ctx Ctx, path string) error {
+	ctx, sp := t.begin(ctx, "unlink")
+	err := t.inner.Unlink(ctx, path)
+	sp.End(0, err)
+	return err
+}
+
+func (t *tracedFS) Rmdir(ctx Ctx, path string) error {
+	ctx, sp := t.begin(ctx, "rmdir")
+	err := t.inner.Rmdir(ctx, path)
+	sp.End(0, err)
+	return err
+}
+
+func (t *tracedFS) Rename(ctx Ctx, oldPath, newPath string) error {
+	ctx, sp := t.begin(ctx, "rename")
+	err := t.inner.Rename(ctx, oldPath, newPath)
+	sp.End(0, err)
+	return err
+}
+
+type tracedHandle struct {
+	inner Handle
+	fs    *tracedFS
+}
+
+func (h *tracedHandle) Read(ctx Ctx, off, n int64) (int64, error) {
+	ctx, sp := h.fs.begin(ctx, "read")
+	got, err := h.inner.Read(ctx, off, n)
+	sp.End(got, err)
+	return got, err
+}
+
+func (h *tracedHandle) Write(ctx Ctx, off, n int64) (int64, error) {
+	ctx, sp := h.fs.begin(ctx, "write")
+	got, err := h.inner.Write(ctx, off, n)
+	sp.End(got, err)
+	return got, err
+}
+
+func (h *tracedHandle) Append(ctx Ctx, n int64) (int64, error) {
+	ctx, sp := h.fs.begin(ctx, "append")
+	off, err := h.inner.Append(ctx, n)
+	sp.End(n, err)
+	return off, err
+}
+
+func (h *tracedHandle) Fsync(ctx Ctx) error {
+	ctx, sp := h.fs.begin(ctx, "fsync")
+	err := h.inner.Fsync(ctx)
+	sp.End(0, err)
+	return err
+}
+
+func (h *tracedHandle) Close(ctx Ctx) error {
+	ctx, sp := h.fs.begin(ctx, "close")
+	err := h.inner.Close(ctx)
+	sp.End(0, err)
+	return err
+}
+
+func (h *tracedHandle) Size() int64  { return h.inner.Size() }
+func (h *tracedHandle) Path() string { return h.inner.Path() }

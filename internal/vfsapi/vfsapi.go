@@ -16,14 +16,19 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // Ctx carries the calling simulated thread through the stack: P is the
 // scheduling process and T the CPU thread (affinity + accounting).
+// Span, when non-nil, is the request-scoped observability span; layers
+// bracket their work with Span.Enter and transports must copy it into
+// the daemon-side Ctx they build (see internal/obs).
 type Ctx struct {
-	P *sim.Proc
-	T *cpu.Thread
+	P    *sim.Proc
+	T    *cpu.Thread
+	Span *obs.Span
 }
 
 // OpenFlag is a bitmask of POSIX-like open flags.
