@@ -1,0 +1,201 @@
+// Command benchguard compares `go test -bench` output against a
+// checked-in ns/op baseline and fails on large regressions. It guards
+// the simulator hot path (engine park/wake, mutex handoff, CPU
+// scheduler) in CI without flaking on runner speed differences: the
+// threshold is a generous multiple, so only order-of-magnitude
+// slowdowns — an accidentally quadratic event queue, a lost fast
+// path — trip it.
+//
+// Usage:
+//
+//	go test -bench . ./internal/sim/ | benchguard -baseline ci/bench-baseline.txt
+//	benchguard -baseline ci/bench-baseline.txt bench-output.txt
+//	benchguard -baseline ci/bench-baseline.txt -update bench-output.txt
+//
+// The baseline file holds one "name ns_per_op" pair per line (names
+// normalized without the -GOMAXPROCS suffix); -update rewrites it from
+// the current input instead of comparing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result, e.g.
+// "BenchmarkEngineYield-8   2318934   515.3 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts normalized benchmark names and ns/op from
+// `go test -bench` output. Duplicate names (the same benchmark run for
+// several packages or -count values) keep the slowest result, so the
+// guard judges the worst case.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if ns > out[m[1]] {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBaseline reads the checked-in "name ns_per_op" pairs.
+func parseBaseline(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("baseline: malformed line %q", line)
+		}
+		ns, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("baseline: bad ns/op in %q", line)
+		}
+		out[fields[0]] = ns
+	}
+	return out, sc.Err()
+}
+
+// compare reports regressions of current vs baseline beyond threshold.
+// Benchmarks missing on either side are surfaced as warnings, not
+// failures, so adding or retiring a benchmark doesn't break CI before
+// the baseline is refreshed.
+func compare(w io.Writer, baseline, current map[string]float64, threshold float64) (regressions int) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(w, "warn: %s in baseline but not in input\n", name)
+			continue
+		}
+		ratio := cur / base
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %12.1f -> %12.1f ns/op  (%.2fx, limit %.1fx) %s\n",
+			name, base, cur, ratio, threshold, status)
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "warn: %s not in baseline (run with -update to add)\n", name)
+	}
+	return regressions
+}
+
+// writeBaseline emits the baseline file content for -update.
+func writeBaseline(w io.Writer, current map[string]float64) error {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %.1f\n", name, current[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "checked-in baseline file (name ns_per_op per line)")
+	threshold := flag.Float64("threshold", 5.0, "fail when current ns/op exceeds baseline by this factor")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	flag.Parse()
+
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		if err := writeBaseline(f, current); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchguard: baseline %s updated with %d benchmark(s)\n", *baselinePath, len(current))
+		return
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	baseline, err := parseBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if n := compare(os.Stdout, baseline, current, *threshold); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmark regression(s) beyond %.1fx\n", n, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all benchmarks within threshold")
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+BenchmarkEngineSleepWake-8   	 2215130	       532.1 ns/op
+BenchmarkEngineYield-8       	 4000000	       301.0 ns/op
+BenchmarkMutexContendedHandoff-8 	 1212121	       900 ns/op
+PASS
+ok  	repro/internal/sim	4.913s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkEngineSleepWake":       532.1,
+		"BenchmarkEngineYield":           301.0,
+		"BenchmarkMutexContendedHandoff": 900,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+	// Duplicates keep the slowest run.
+	dup, err := parseBench(strings.NewReader(
+		"BenchmarkEngineYield-8 100 200 ns/op\nBenchmarkEngineYield-16 100 150 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup["BenchmarkEngineYield"] != 200 {
+		t.Errorf("duplicate handling wrong: %v", dup)
+	}
+}
+
+func TestParseBaseline(t *testing.T) {
+	in := "# comment\n\nBenchmarkEngineYield 300.0\nBenchmarkMutexContendedHandoff 900\n"
+	got, err := parseBaseline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkEngineYield"] != 300 || got["BenchmarkMutexContendedHandoff"] != 900 {
+		t.Errorf("baseline parsed wrong: %v", got)
+	}
+	if _, err := parseBaseline(strings.NewReader("only-one-field\n")); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 50}
+	current := map[string]float64{"BenchmarkA": 450, "BenchmarkB": 600, "BenchmarkNew": 10}
+	var buf bytes.Buffer
+	n := compare(&buf, baseline, current, 5.0)
+	if n != 1 {
+		t.Fatalf("want exactly 1 regression (B at 6x), got %d:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkB") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkGone in baseline but not in input") {
+		t.Errorf("missing-benchmark warning absent:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew not in baseline") {
+		t.Errorf("new-benchmark warning absent:\n%s", out)
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	current := map[string]float64{"BenchmarkB": 123.4, "BenchmarkA": 500}
+	var buf bytes.Buffer
+	if err := writeBaseline(&buf, current); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "BenchmarkA 500.0\nBenchmarkB 123.4\n" {
+		t.Errorf("baseline output wrong:\n%s", buf.String())
+	}
+	back, err := parseBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["BenchmarkA"] != 500 || back["BenchmarkB"] != 123.4 {
+		t.Errorf("round trip wrong: %v", back)
+	}
+}

@@ -7,6 +7,7 @@
 //	danausbench -exp fig6a [-scale quick|default|paper]
 //	danausbench -exp all -scale default
 //	danausbench -exp faultsweep -trace trace.json -metrics metrics.json
+//	danausbench -exp blamesweep -blame blame.json -whatif lockcs=0.5,flusher=pinned
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record. With -trace and/or
@@ -14,15 +15,25 @@
 // cross-layer spans and per-tenant metrics (see OBSERVABILITY.md);
 // the trace loads in the Perfetto UI and -metrics accepts a .csv
 // suffix for the time-series alone.
+//
+// -blame writes the latency blame analysis (critical-path buckets per
+// tenant plus the interference matrix) of every recorded run to the
+// given .json or .csv file. -whatif re-runs each blamesweep case under
+// a modified cost model ("nic=2x,osd=2x,lockcs=0.5,flusher=pinned")
+// and reports predicted-vs-measured per-tenant mean latency; with
+// -blame the comparison also lands in <base>-whatif.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/blame"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -48,11 +59,21 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"table2":     runTable2,
 	"ablations":  runAblations,
 	"faultsweep": runFaultSweep,
+	"blamesweep": runBlameSweep,
 }
 
 // obsRuns collects one recorder per testbed built while -trace or
 // -metrics is set, in construction order, for export at exit.
 var obsRuns []obs.Run
+
+// blameReports and whatIfReports accumulate the blame analyses of
+// blamesweep runs (which manage their own recorders) for export via
+// -blame; whatIf is the parsed -whatif spec, nil when unset.
+var (
+	blameReports  []blame.Report
+	whatIfReports []blame.WhatIfReport
+	whatIf        *blame.WhatIf
+)
 
 // enableObservability points experiments.Observer at a recorder
 // factory: each testbed gets its own recorder (runs stay separable in
@@ -78,7 +99,22 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	tracePath := flag.String("trace", "", "write a Perfetto trace-event JSON of all runs to this file")
 	metricsPath := flag.String("metrics", "", "write per-tenant metrics of all runs to this file (.json or .csv)")
+	blamePath := flag.String("blame", "", "write the latency blame analysis of all runs to this file (.json or .csv)")
+	whatIfSpec := flag.String("whatif", "", "blamesweep what-if spec, e.g. nic=2x,osd=2x,lockcs=0.5,flusher=pinned")
 	flag.Parse()
+
+	if *whatIfSpec != "" {
+		w, err := blame.ParseWhatIf(*whatIfSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		whatIf = &w
+		if *exp != "blamesweep" && *exp != "all" {
+			fmt.Fprintln(os.Stderr, "-whatif requires -exp blamesweep (or all)")
+			os.Exit(2)
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -106,7 +142,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *blamePath != "" {
 		enableObservability()
 	}
 
@@ -120,6 +156,7 @@ func main() {
 			runOne(name, scale)
 		}
 		exportObs(*tracePath, *metricsPath)
+		exportBlame(*blamePath)
 		return
 	}
 	if _, ok := experimentsByName[*exp]; !ok {
@@ -128,6 +165,61 @@ func main() {
 	}
 	runOne(*exp, scale)
 	exportObs(*tracePath, *metricsPath)
+	exportBlame(*blamePath)
+}
+
+// exportBlame writes the blame reports of all runs — the blamesweep's
+// own plus an analysis of every recorder the -trace/-metrics hook
+// collected — to the requested file, and any what-if comparisons next
+// to it as <base>-whatif.json.
+func exportBlame(path string) {
+	if path == "" {
+		return
+	}
+	reports := append([]blame.Report{}, blameReports...)
+	for _, run := range obsRuns {
+		reports = append(reports, blame.Analyze(run.Label, run.Rec))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blame export: %v\n", err)
+		os.Exit(1)
+	}
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		err = blame.WriteCSV(f, reports)
+	} else {
+		err = blame.WriteJSON(f, reports)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blame export: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("blame: %d run(s) -> %s\n", len(reports), path)
+
+	if len(whatIfReports) > 0 {
+		wiPath := strings.TrimSuffix(path, filepath.Ext(path)) + "-whatif.json"
+		wf, err := os.Create(wiPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "what-if export: %v\n", err)
+			os.Exit(1)
+		}
+		for _, rep := range whatIfReports {
+			if err == nil {
+				err = blame.WriteWhatIfJSON(wf, rep)
+			}
+		}
+		if cerr := wf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "what-if export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("what-if: %d comparison(s) -> %s\n", len(whatIfReports), wiPath)
+	}
 }
 
 // exportObs writes the collected recorders to the requested artifact
@@ -260,6 +352,23 @@ func runAblations(scale experiments.Scale) {
 	fmt.Println("Design-choice ablations (DESIGN.md / paper §3, §6.3.2)")
 	for _, row := range experiments.AllAblations(scale) {
 		fmt.Println("  " + row.String())
+	}
+}
+
+func runBlameSweep(scale experiments.Scale) {
+	fmt.Println("Blame sweep: critical-path decomposition and per-tenant interference")
+	for _, c := range experiments.BlameSweepCases() {
+		rep, _ := experiments.RunBlameSweep(c, scale, nil)
+		blameReports = append(blameReports, rep)
+		blame.Render(os.Stdout, rep)
+		if whatIf != nil {
+			measured, _ := experiments.RunBlameSweep(c, scale, whatIf)
+			cmp := blame.CompareWhatIf(*whatIf, rep, measured)
+			whatIfReports = append(whatIfReports, cmp)
+			fmt.Println()
+			blame.RenderWhatIf(os.Stdout, cmp)
+		}
+		fmt.Println()
 	}
 }
 

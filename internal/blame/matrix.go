@@ -1,0 +1,124 @@
+package blame
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cell is one victim×aggressor entry of the interference matrix: the
+// victim tenant spent Wait blocked on Resource while the aggressor
+// tenant held it (locks) or occupied it (cores), across Count waits.
+type Cell struct {
+	Victim    string        `json:"victim"`
+	Aggressor string        `json:"aggressor"`
+	Resource  string        `json:"resource"`
+	Wait      time.Duration `json:"wait_ns"`
+	Count     int           `json:"count"`
+}
+
+// Interference builds the per-tenant interference matrix from the
+// contended waits of a recording. Only waits with an identified other
+// party contribute: lock waits blame the tenant the holder was serving
+// when the victim enqueued (falling back to the raw holder process
+// name for unbound holders such as idle kernel threads), and runqueue
+// waits blame the account occupying the victim's cores. Self-cells
+// (victim == aggressor) are kept — intra-tenant queueing is real
+// latency, just not cross-tenant interference.
+func Interference(rec *obs.Recorder) []Cell {
+	if rec == nil {
+		return nil
+	}
+	type key struct{ victim, aggressor, resource string }
+	agg := map[key]*Cell{}
+	for _, w := range rec.Waits() {
+		kind := rec.Str(w.Kind)
+		if kind != "lock" && kind != "runq" {
+			continue
+		}
+		aggressor := rec.Str(w.HolderTenant)
+		if aggressor == "" {
+			aggressor = rec.Str(w.Holder)
+		}
+		if aggressor == "" {
+			continue
+		}
+		k := key{rec.Str(w.Tenant), aggressor, rec.Str(w.Resource)}
+		c := agg[k]
+		if c == nil {
+			c = &Cell{Victim: k.victim, Aggressor: k.aggressor, Resource: k.resource}
+			agg[k] = c
+		}
+		c.Wait += w.Dur
+		c.Count++
+	}
+	out := make([]Cell, 0, len(agg))
+	for _, c := range agg {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		if a.Aggressor != b.Aggressor {
+			return a.Aggressor < b.Aggressor
+		}
+		return a.Resource < b.Resource
+	})
+	return out
+}
+
+// RenderMatrix writes the interference matrix as a text grid of total
+// wait per victim (rows) × aggressor (columns), summed over resources,
+// followed by the per-resource cell detail.
+func RenderMatrix(w io.Writer, cells []Cell) {
+	if len(cells) == 0 {
+		fmt.Fprintln(w, "interference: none recorded")
+		return
+	}
+	victims, aggressors := []string{}, []string{}
+	seenV, seenA := map[string]bool{}, map[string]bool{}
+	sum := map[[2]string]time.Duration{}
+	for _, c := range cells {
+		if !seenV[c.Victim] {
+			seenV[c.Victim] = true
+			victims = append(victims, c.Victim)
+		}
+		if !seenA[c.Aggressor] {
+			seenA[c.Aggressor] = true
+			aggressors = append(aggressors, c.Aggressor)
+		}
+		sum[[2]string{c.Victim, c.Aggressor}] += c.Wait
+	}
+	sort.Strings(victims)
+	sort.Strings(aggressors)
+
+	fmt.Fprintln(w, "interference matrix (total wait, victim rows × aggressor columns)")
+	fmt.Fprintf(w, "%-14s", "victim\\aggr")
+	for _, a := range aggressors {
+		fmt.Fprintf(w, " %12s", a)
+	}
+	fmt.Fprintln(w)
+	for _, v := range victims {
+		fmt.Fprintf(w, "%-14s", v)
+		for _, a := range aggressors {
+			d, ok := sum[[2]string{v, a}]
+			if !ok {
+				fmt.Fprintf(w, " %12s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %12s", d.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "cells (victim <- aggressor @ resource: wait / count)")
+	for _, c := range cells {
+		fmt.Fprintf(w, "  %s <- %s @ %s: %s / %d\n",
+			c.Victim, c.Aggressor, c.Resource, c.Wait.Round(time.Microsecond), c.Count)
+	}
+}

@@ -243,6 +243,7 @@ func (c *Cluster) mdsRPC(ctx vfsapi.Ctx, extraReply int64, op func() error) erro
 	}
 	c.mds.cpu.Lock(ctx.P)
 	ctx.P.Sleep(c.params.MDSOpCost)
+	ctx.P.ReportWait("mds", "mds.cpu", "", 0, c.params.MDSOpCost)
 	c.mds.ops++
 	err = op()
 	c.mds.cpu.Unlock(ctx.P)
@@ -509,7 +510,9 @@ func (o *OSD) write(p *sim.Proc, id objectID, off, n int64) error {
 	p.Sleep(o.params.OSDOpCost)
 	// Journal + data: writes cost JournalFactor × media time.
 	mediaBytes := int64(float64(n) * o.params.OSDJournalFactor)
-	p.Sleep(o.mediaTime(mediaBytes))
+	mt := o.mediaTime(mediaBytes)
+	p.Sleep(mt)
+	p.ReportWait("osd", "osd.media", "", 0, o.params.OSDOpCost+mt)
 	if o.down {
 		// Crashed mid-service: the write never persisted.
 		o.media.Unlock(p)
@@ -534,7 +537,9 @@ func (o *OSD) read(p *sim.Proc, id objectID, off, n int64) error {
 		return ErrOSDDown
 	}
 	p.Sleep(o.params.OSDOpCost)
-	p.Sleep(o.mediaTime(n))
+	mt := o.mediaTime(n)
+	p.Sleep(mt)
+	p.ReportWait("osd", "osd.media", "", 0, o.params.OSDOpCost+mt)
 	if o.down {
 		// Crashed mid-service: the reply was never sent.
 		o.media.Unlock(p)

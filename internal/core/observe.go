@@ -25,6 +25,13 @@ func (tb *Testbed) AttachObserver(rec *obs.Recorder) {
 	tb.Obs = rec
 	tb.CPU.SetRecorder(rec)
 	tb.Kernel.SetRecorder(rec)
+	// Bridge the engine's passive wait observer to the recorder: each
+	// completed wait is attributed to the span bound to the waiting
+	// process. Observation reads only the clock — the engine schedule is
+	// unchanged (the zero-overhead contract).
+	tb.Eng.SetWaitObserver(func(p *sim.Proc, kind, resource, holder string, holderID int, start, dur time.Duration) {
+		rec.Wait(p.ID(), kind, resource, holder, holderID, start, dur)
+	})
 	if iv := rec.SampleInterval(); iv > 0 {
 		tb.startSampler(rec, iv)
 	}

@@ -67,6 +67,7 @@ func (c *CPU) recordSlice(core int, d time.Duration, acct *Account, k TimeKind) 
 type coreState struct {
 	busy     bool
 	busyTime time.Duration
+	occupant *Account // account running on the core while busy
 }
 
 type waiter struct {
@@ -172,6 +173,7 @@ func (t *Thread) Exec(p *sim.Proc, k TimeKind, d time.Duration) {
 	t.acct.addTime(k, d)
 	t.lastCore = core
 	c.recordSlice(core, d, t.acct, k)
+	p.ReportWait("run", "cpu", "", 0, d)
 	c.release(core)
 }
 
@@ -197,6 +199,11 @@ type execRun struct {
 	lost  bool          // core lost at a boundary: p queued in c.waiters
 	w     waiter        // reusable waiter record for the lost case
 	step  func()        // reusable boundary callback (captures this run)
+
+	// Wait-observer bookkeeping for the lost-core path: when it began
+	// and which account is to blame, captured at enqueue time.
+	lostAt time.Duration
+	aggr   string
 }
 
 // runCoalesced executes the remaining d (> one quantum) of work for t
@@ -214,6 +221,7 @@ func (c *CPU) runCoalesced(p *sim.Proc, t *Thread, k TimeKind, core int, d time.
 			// us a new one. Mirror the old loop's post-acquire path.
 			r.lost = false
 			r.core = r.w.assigned
+			p.ReportWait("runq", "cpu", r.aggr, 0, c.eng.Now()-r.lostAt)
 			if r.d > c.params.Quantum {
 				r.slice = c.params.Quantum
 				c.eng.After(r.slice, r.step)
@@ -230,6 +238,7 @@ func (c *CPU) runCoalesced(p *sim.Proc, t *Thread, k TimeKind, core int, d time.
 		t.acct.addTime(k, r.slice)
 		t.lastCore = r.core
 		c.recordSlice(r.core, r.slice, t.acct, k)
+		p.ReportWait("run", "cpu", "", 0, r.slice)
 		c.release(r.core)
 		break
 	}
@@ -246,6 +255,7 @@ func (r *execRun) fire() {
 	r.t.acct.addTime(r.kind, r.slice)
 	r.t.lastCore = r.core
 	c.recordSlice(r.core, r.slice, r.t.acct, r.kind)
+	r.p.ReportWait("run", "cpu", "", 0, r.slice)
 	r.d -= r.slice
 	c.release(r.core)
 	core, ok := c.tryAcquire(r.t)
@@ -253,6 +263,10 @@ func (r *execRun) fire() {
 		// Preempted: queue FIFO exactly where the old loop's acquire
 		// would have parked. A later release wakes p with the core.
 		r.lost = true
+		r.lostAt = c.eng.Now()
+		if c.eng.HasWaitObserver() {
+			r.aggr = c.runqAggressor(r.t)
+		}
 		r.w = waiter{p: r.p, th: r.t, assigned: -1}
 		c.waiters = append(c.waiters, &r.w)
 		return
@@ -312,10 +326,40 @@ func (c *CPU) acquire(p *sim.Proc, t *Thread) int {
 	if core, ok := c.tryAcquire(t); ok {
 		return core
 	}
+	since := c.eng.Now()
+	aggr := ""
+	if c.eng.HasWaitObserver() {
+		aggr = c.runqAggressor(t)
+	}
 	w := &waiter{p: p, th: t, assigned: -1}
 	c.waiters = append(c.waiters, w)
 	p.Park()
+	p.ReportWait("runq", "cpu", aggr, 0, c.eng.Now()-since)
 	return w.assigned
+}
+
+// runqAggressor names the account to blame for a core-acquisition wait
+// beginning now: the occupant of a busy core inside the waiter's mask,
+// preferring an account different from the waiter's own (that is the
+// core-theft case the paper measures — e.g. a host-wide kernel flusher
+// squatting on a pool's reserved cores). Ties break on the lowest core
+// index, keeping attribution deterministic.
+func (c *CPU) runqAggressor(t *Thread) string {
+	self := ""
+	for w := uint64(t.mask); w != 0; w &= w - 1 {
+		core := bits.TrailingZeros64(w)
+		cs := &c.cores[core]
+		if !cs.busy || cs.occupant == nil {
+			continue
+		}
+		if cs.occupant != t.acct {
+			return cs.occupant.Name
+		}
+		if self == "" {
+			self = cs.occupant.Name
+		}
+	}
+	return self
 }
 
 // tryAcquire claims an idle core in the thread's mask without blocking.
@@ -328,6 +372,7 @@ func (c *CPU) acquire(p *sim.Proc, t *Thread) int {
 func (c *CPU) tryAcquire(t *Thread) (int, bool) {
 	if t.lastCore >= 0 && t.mask.Has(t.lastCore) && !c.cores[t.lastCore].busy {
 		c.cores[t.lastCore].busy = true
+		c.cores[t.lastCore].occupant = t.acct
 		return t.lastCore, true
 	}
 	if t.mask != 0 {
@@ -344,6 +389,7 @@ func (c *CPU) tryAcquire(t *Thread) (int, bool) {
 				core := bits.TrailingZeros64(w)
 				if !c.cores[core].busy {
 					c.cores[core].busy = true
+					c.cores[core].occupant = t.acct
 					return core, true
 				}
 			}
@@ -357,11 +403,13 @@ func (c *CPU) release(core int) {
 		if w.th.mask.Has(core) {
 			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
 			w.assigned = core // core stays busy: direct handoff
+			c.cores[core].occupant = w.th.acct
 			c.eng.ScheduleWake(w.p)
 			return
 		}
 	}
 	c.cores[core].busy = false
+	c.cores[core].occupant = nil
 }
 
 // UtilSnapshot captures each core's cumulative busy time.

@@ -43,11 +43,14 @@ func (d *Disk) Access(p *sim.Proc, off, n int64, write bool) {
 		return
 	}
 	d.mu.Lock(p)
+	media := model.RateTime(n, d.seqBps)
 	if d.head != off {
 		p.Sleep(d.seek)
 		d.seeks++
+		media += d.seek
 	}
 	p.Sleep(model.RateTime(n, d.seqBps))
+	p.ReportWait("disk", d.name, "", 0, media)
 	d.head = off + n
 	if write {
 		d.bytesWritten += uint64(n)

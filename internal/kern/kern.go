@@ -44,6 +44,12 @@ type Kernel struct {
 	stopped    bool
 	inodeLocks []*sim.Mutex // registry for lock statistics
 
+	// flusherThreads are the CPU threads of the writeback flushers;
+	// flusherMask, when non-zero, overrides their host-wide affinity
+	// (the what-if profiler pins flushers off pool cores with it).
+	flusherThreads []*cpu.Thread
+	flusherMask    cpu.Mask
+
 	rec *obs.Recorder
 }
 
@@ -187,10 +193,30 @@ func (k *Kernel) wakeFlushers() {
 	k.flusherQ.Broadcast()
 }
 
+// SetFlusherMask repins every writeback flusher thread — current and
+// future — to mask instead of the host-wide default. A zero mask
+// restores the roaming behaviour. This is the knob behind the what-if
+// profiler's "flusher=pinned" scenario: it removes the Fig 1a core
+// theft without changing anything else about the model.
+func (k *Kernel) SetFlusherMask(mask cpu.Mask) {
+	k.flusherMask = mask
+	if mask == 0 {
+		mask = k.cpus.AllMask()
+	}
+	for _, th := range k.flusherThreads {
+		th.SetAffinity(mask)
+	}
+}
+
 // flusherLoop is one kernel writeback thread. Its CPU thread roams the
 // entire host: this is the core-stealing behaviour of Fig 1a.
 func (k *Kernel) flusherLoop(p *sim.Proc) {
-	th := k.cpus.NewThread(k.acct, k.cpus.AllMask())
+	mask := k.cpus.AllMask()
+	if k.flusherMask != 0 {
+		mask = k.flusherMask
+	}
+	th := k.cpus.NewThread(k.acct, mask)
+	k.flusherThreads = append(k.flusherThreads, th)
 	ctx := vfsapi.Ctx{P: p, T: th}
 	for !k.stopped {
 		k.flusherQ.WaitTimeout(p, k.params.WritebackInterval)

@@ -72,6 +72,7 @@ func (l *Link) Transfer(p *sim.Proc, n int64) error {
 		// The sender blocks for a timeout instead of a transmission; no
 		// bytes are delivered.
 		p.Sleep(l.latency + l.extraLatency)
+		p.ReportWait("net", l.name, "", 0, l.latency+l.extraLatency)
 		return ErrPartitioned
 	}
 	if n < 0 {
@@ -85,11 +86,14 @@ func (l *Link) Transfer(p *sim.Proc, n int64) error {
 			chunk = n
 		}
 		l.xmit.Lock(p)
-		p.Sleep(model.RateTime(chunk, l.bps))
+		tx := model.RateTime(chunk, l.bps)
+		p.Sleep(tx)
 		l.xmit.Unlock(p)
+		p.ReportWait("net", l.name, "", 0, tx)
 		n -= chunk
 	}
 	p.Sleep(l.latency + l.extraLatency)
+	p.ReportWait("net", l.name, "", 0, l.latency+l.extraLatency)
 	if l.dropEvery > 0 {
 		l.dropCount++
 		if l.dropCount%l.dropEvery == 0 {

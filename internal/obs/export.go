@@ -314,6 +314,18 @@ func WriteMetrics(w io.Writer, runs []Run) error {
 	return err
 }
 
+// CSVField quotes one CSV field per RFC 4180: fields containing a
+// comma, a double quote, or a newline are wrapped in double quotes with
+// embedded quotes doubled; anything else passes through unchanged. The
+// metrics exporter and the blame tables share it so run labels and lock
+// names with punctuation survive a round trip through encoding/csv.
+func CSVField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // WriteMetricsCSV writes every time series of runs as CSV rows
 // (run,tenant,series,t_ns,value) in sorted run/tenant/series order.
 func WriteMetricsCSV(w io.Writer, runs []Run) error {
@@ -343,7 +355,7 @@ func WriteMetricsCSV(w io.Writer, runs []Run) error {
 			for _, sn := range names {
 				for _, p := range t.series[sn].Points {
 					if _, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%s\n",
-						run.Label, tn, sn, int64(p.T),
+						CSVField(run.Label), CSVField(tn), CSVField(sn), int64(p.T),
 						strconv.FormatFloat(p.V, 'g', -1, 64)); err != nil {
 						return err
 					}

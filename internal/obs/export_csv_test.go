@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+)
+
+// TestMetricsCSVQuotingRoundTrip verifies that run labels, tenant and
+// series names containing commas, quotes and newlines survive a round
+// trip through a standards-conforming CSV reader. The pre-fix exporter
+// emitted such labels raw, silently shifting every following column.
+func TestMetricsCSVQuotingRoundTrip(t *testing.T) {
+	now := time.Duration(0)
+	rec := New(Config{Clock: func() time.Duration { return now }})
+	label := `sweep,K r=2 "quick"`
+	tenant := `fls,0`
+	series := `lock_wait,"i_mutex"`
+	rec.Sample(tenant, series, 5*time.Millisecond, 42.5)
+
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, []Run{{Label: label, Rec: rec}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want header + 1 row, got %d rows", len(rows))
+	}
+	row := rows[1]
+	if row[0] != label || row[1] != tenant || row[2] != series {
+		t.Errorf("fields did not round-trip: %q", row)
+	}
+	if row[3] != "5000000" || row[4] != "42.5" {
+		t.Errorf("numeric columns shifted: %q", row)
+	}
+}
+
+// TestCSVField pins the quoting rules shared by the metrics and blame
+// exporters.
+func TestCSVField(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{"a,b", `"a,b"`},
+		{`say "hi"`, `"say ""hi"""`},
+		{"two\nlines", "\"two\nlines\""},
+	}
+	for _, c := range cases {
+		if got := CSVField(c.in); got != c.want {
+			t.Errorf("CSVField(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWaitBindingAndLeaks exercises the proc→span wait attribution and
+// the span-leak ledger.
+func TestWaitBindingAndLeaks(t *testing.T) {
+	now := time.Duration(0)
+	rec := New(Config{Clock: func() time.Duration { return now }})
+
+	// A wait before any span is bound is counted, not stored.
+	rec.Wait(7, "lock", "i_mutex", "kflushd", 0, 0, time.Millisecond)
+	if n := rec.UnattributedWaits(); n != 1 {
+		t.Fatalf("unattributed = %d, want 1", n)
+	}
+
+	sp := rec.StartSpan(7, "fls0", "read")
+	now = 2 * time.Millisecond
+	rec.Wait(7, "lock", "i_mutex", "kflushd", 0, time.Millisecond, time.Millisecond)
+	if len(rec.Waits()) != 1 {
+		t.Fatalf("bound wait not recorded: %d", len(rec.Waits()))
+	}
+	w := rec.Waits()[0]
+	if rec.Str(w.Tenant) != "fls0" || rec.Str(w.Kind) != "lock" ||
+		rec.Str(w.Resource) != "i_mutex" || rec.Str(w.Holder) != "kflushd" {
+		t.Errorf("wait fields wrong: %+v", w)
+	}
+
+	if leaks := rec.LeakedSpans(); len(leaks) != 1 {
+		t.Fatalf("open span not reported as leak: %v", leaks)
+	}
+	sp.End(0, nil)
+	if leaks := rec.LeakedSpans(); leaks != nil {
+		t.Fatalf("ended span still reported leaked: %v", leaks)
+	}
+	// After End the binding is gone: further waits are unattributed.
+	rec.Wait(7, "run", "cpu", "", 0, 0, time.Millisecond)
+	if n := rec.UnattributedWaits(); n != 2 {
+		t.Fatalf("unattributed after End = %d, want 2", n)
+	}
+}

@@ -35,7 +35,11 @@
 // injected as a closure instead of importing the engine.
 package obs
 
-import "time"
+import (
+	"fmt"
+	"sort"
+	"time"
+)
 
 // Layer names one level of the client I/O stack crossed by a span.
 // The vocabulary is documented in OBSERVABILITY.md.
@@ -92,7 +96,21 @@ type Recorder struct {
 	nextSpan uint64
 	slices   []SliceEvent
 	cores    []CoreEvent
+	waits    []WaitEvent
 	dropped  uint64
+
+	// procSpan binds each simulated process to the span it is currently
+	// serving, so passively observed waits (engine wait observer) can be
+	// attributed to a request. Exactly one goroutine runs at any instant
+	// in the simulation, so plain map access is safe.
+	procSpan map[int32]*Span
+	// unattributed counts waits observed on processes with no bound
+	// span (warmup traffic, background threads outside their lazy
+	// writeback spans).
+	unattributed uint64
+	// open tracks spans started and not yet ended — the span-leak
+	// checker's ledger.
+	open map[uint64]*Span
 
 	// Tenant/op/layer/account names are interned to small ids so the
 	// (potentially millions of) retained events carry no pointers: the
@@ -125,6 +143,29 @@ type SliceEvent struct {
 	Err    bool
 }
 
+// WaitEvent is one completed wait interval observed while a bound span
+// was being served: the span's process spent [Start, Start+Dur) blocked
+// on (or, for Kind "run", executing on) Resource. Holder identifies the
+// party occupying the resource when the wait began ("" when not
+// applicable). String fields are interned (Recorder.Str resolves them).
+type WaitEvent struct {
+	Span     uint64
+	Proc     int32
+	Tenant   Sym
+	Op       Sym
+	Kind     Sym
+	Resource Sym
+	Holder   Sym
+	// HolderTenant is the tenant of the span the holder process was
+	// serving when the wait completed ("" when the holder is not a
+	// process or was not serving a traced request). The interference
+	// matrix prefers it over Holder: background kernel threads dissolve
+	// into the tenant on whose behalf they worked.
+	HolderTenant Sym
+	Start        time.Duration
+	Dur          time.Duration
+}
+
 // CoreEvent is one scheduler quantum (or sub-quantum slice) executed
 // on a simulated core, attributed to the account that consumed it.
 // Account and Kind are interned (Recorder.Str).
@@ -144,7 +185,10 @@ func New(cfg Config) *Recorder {
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 4 << 20
 	}
-	return &Recorder{cfg: cfg, reg: NewRegistry(), symIdx: map[string]Sym{}}
+	return &Recorder{
+		cfg: cfg, reg: NewRegistry(), symIdx: map[string]Sym{},
+		procSpan: map[int32]*Span{}, open: map[uint64]*Span{},
+	}
 }
 
 // intern maps a string to its stable id, assigning one on first use.
@@ -194,6 +238,22 @@ func (r *Recorder) Slices() []SliceEvent { return r.slices }
 // CoreEvents returns the recorded per-core slices (exporter access).
 func (r *Recorder) CoreEvents() []CoreEvent { return r.cores }
 
+// Waits returns the recorded wait events (blame-engine access).
+func (r *Recorder) Waits() []WaitEvent {
+	if r == nil {
+		return nil
+	}
+	return r.waits
+}
+
+// UnattributedWaits returns how many observed waits had no bound span.
+func (r *Recorder) UnattributedWaits() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.unattributed
+}
+
 // Registry returns the metrics registry, or nil when disabled.
 func (r *Recorder) Registry() *Registry {
 	if r == nil {
@@ -203,7 +263,7 @@ func (r *Recorder) Registry() *Registry {
 }
 
 func (r *Recorder) room() bool {
-	if len(r.slices)+len(r.cores) >= r.cfg.MaxEvents {
+	if len(r.slices)+len(r.cores)+len(r.waits) >= r.cfg.MaxEvents {
 		r.dropped++
 		return false
 	}
@@ -218,12 +278,70 @@ func (r *Recorder) StartSpan(proc int, tenant, op string) *Span {
 		return nil
 	}
 	r.nextSpan++
-	return &Span{
+	s := &Span{
 		rec: r, id: r.nextSpan, proc: int32(proc),
 		tenant: tenant, op: op,
 		tenantSym: r.intern(tenant), opSym: r.intern(op),
 		start: r.cfg.Clock(),
 	}
+	r.procSpan[s.proc] = s
+	r.open[s.id] = s
+	return s
+}
+
+// Wait attributes one passively observed wait interval to the span
+// currently bound to proc. Waits on processes with no bound span
+// (warmup traffic, background threads between writeback passes) are
+// counted, not stored. When holderID names a process that is itself
+// serving a span, the holder is additionally resolved to that span's
+// tenant — so a kernel flusher holding i_mutex mid-writeback blames
+// the tenant whose dirty data it was flushing. Nil-safe.
+func (r *Recorder) Wait(proc int, kind, resource, holder string, holderID int, start, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	s, ok := r.procSpan[int32(proc)]
+	if !ok {
+		r.unattributed++
+		return
+	}
+	if !r.room() {
+		return
+	}
+	holderTenant := ""
+	if holderID != 0 {
+		if hs, ok := r.procSpan[int32(holderID)]; ok {
+			holderTenant = hs.tenant
+		}
+	}
+	r.waits = append(r.waits, WaitEvent{
+		Span: s.id, Proc: s.proc, Tenant: s.tenantSym, Op: s.opSym,
+		Kind: r.intern(kind), Resource: r.intern(resource),
+		Holder: r.intern(holder), HolderTenant: r.intern(holderTenant),
+		Start: start, Dur: dur,
+	})
+}
+
+// LeakedSpans describes every span opened but never ended, sorted by
+// span id. The test suite asserts this is empty at engine drain: a
+// leaked span means an instrumentation point lost an End on some path.
+// Nil-safe.
+func (r *Recorder) LeakedSpans() []string {
+	if r == nil || len(r.open) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(r.open))
+	for id := range r.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		s := r.open[id]
+		out = append(out, fmt.Sprintf("span %d proc %d tenant %q op %q started %v",
+			s.id, s.proc, s.tenant, s.op, s.start))
+	}
+	return out
 }
 
 // Core records one executed core slice. Nil-safe.
@@ -315,6 +433,10 @@ func (s *Span) End(bytes int64, err error) {
 			Start: s.start, Dur: now - s.start, Err: err != nil,
 		})
 	}
+	if s.rec.procSpan[s.proc] == s {
+		delete(s.rec.procSpan, s.proc)
+	}
+	delete(s.rec.open, s.id)
 	s.rec.reg.Tenant(s.tenant).Op(s.op).record(now-s.start, bytes, err)
 }
 

@@ -36,8 +36,30 @@ type Engine struct {
 	liveProcs  int   // processes started and not yet finished
 	nextProcID int
 
-	tracer func(TraceEvent) // optional observer, see SetTracer
+	tracer  func(TraceEvent) // optional observer, see SetTracer
+	waitObs WaitFn           // optional wait observer, see SetWaitObserver
 }
+
+// WaitFn observes one completed wait interval of a process: kind names
+// the primitive ("lock", "runq", "run", "net", "osd", "mds", "disk",
+// "waitq"), resource the contended object, and holder the party that
+// occupied it ("" when not applicable). holderID is the process id of
+// the holder when the holder is a process (0 otherwise — e.g. a
+// runqueue aggressor is an account, not a process); observers use it to
+// resolve the holder to the request it was serving. start is when the
+// wait began; start+dur is always the current virtual time.
+type WaitFn func(p *Proc, kind, resource, holder string, holderID int, start, dur time.Duration)
+
+// SetWaitObserver installs fn as the engine's wait observer. Waits are
+// reported passively — observation schedules no events and reads only
+// the virtual clock — so an installed observer never perturbs the
+// simulation schedule. A nil fn removes the observer.
+func (e *Engine) SetWaitObserver(fn WaitFn) { e.waitObs = fn }
+
+// HasWaitObserver reports whether a wait observer is installed. Callers
+// use it to skip attribution work (e.g. scanning for the aggressor of a
+// runqueue wait) that only matters when someone is listening.
+func (e *Engine) HasWaitObserver() bool { return e.waitObs != nil }
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {

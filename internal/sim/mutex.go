@@ -70,6 +70,10 @@ func (m *Mutex) Lock(p *Proc) {
 	}
 	m.stats.Contended++
 	since := m.eng.now
+	// Blame attribution: the party responsible for this wait is whoever
+	// held the lock when we queued, not whoever hands it to us — under
+	// FIFO handoff the final owner may be an innocent waiter ahead of us.
+	holder := m.owner
 	m.waiters = append(m.waiters, p)
 	p.park()
 	// Ownership was handed off in Unlock; record the wait we endured.
@@ -78,6 +82,7 @@ func (m *Mutex) Lock(p *Proc) {
 	if wait > m.stats.MaxWait {
 		m.stats.MaxWait = wait
 	}
+	p.ReportWait("lock", m.name, holder.name, holder.id, wait)
 }
 
 // Unlock releases m, handing ownership directly to the oldest waiter if

@@ -108,6 +108,18 @@ func (p *Proc) park() wakeReason {
 	return r
 }
 
+// ReportWait reports a wait interval that ended at the current virtual
+// time to the engine's wait observer, if one is installed. Primitives
+// call it after the fact — once the blocked process has resumed and
+// knows how long it waited — so reporting never interacts with the
+// park/wake machinery.
+func (p *Proc) ReportWait(kind, resource, holder string, holderID int, dur time.Duration) {
+	if p.eng.waitObs == nil || dur <= 0 {
+		return
+	}
+	p.eng.waitObs(p, kind, resource, holder, holderID, p.eng.now-dur, dur)
+}
+
 // Sleep advances this process's virtual time by d without consuming any
 // simulated resource.
 func (p *Proc) Sleep(d time.Duration) {

@@ -25,7 +25,9 @@ func NewWaitQueue(e *Engine, name string) *WaitQueue {
 func (q *WaitQueue) Wait(p *Proc) {
 	w := &qWaiter{p: p}
 	q.waiters = append(q.waiters, w)
+	since := q.eng.now
 	p.park()
+	p.ReportWait("waitq", q.name, "", 0, q.eng.now-since)
 }
 
 // WaitTimeout parks p until signalled or until d elapses. It reports
@@ -42,7 +44,10 @@ func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
 		p.wakeReason = wakeTimeout
 		q.eng.scheduleWake(p, q.eng.now)
 	})
-	return p.park() == wakeTimeout
+	since := q.eng.now
+	timedOut = p.park() == wakeTimeout
+	p.ReportWait("waitq", q.name, "", 0, q.eng.now-since)
+	return timedOut
 }
 
 // Signal wakes the oldest waiter, if any. It reports whether a waiter
