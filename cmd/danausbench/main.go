@@ -36,6 +36,7 @@ import (
 	"repro/internal/blame"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fuzz"
 	"repro/internal/obs"
 	"repro/internal/workloads"
 )
@@ -60,6 +61,7 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"ablations":  runAblations,
 	"faultsweep": runFaultSweep,
 	"blamesweep": runBlameSweep,
+	"fuzzsweep":  runFuzzSweep,
 }
 
 // obsRuns collects one recorder per testbed built while -trace or
@@ -101,7 +103,42 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write per-tenant metrics of all runs to this file (.json or .csv)")
 	blamePath := flag.String("blame", "", "write the latency blame analysis of all runs to this file (.json or .csv)")
 	whatIfSpec := flag.String("whatif", "", "blamesweep what-if spec, e.g. nic=2x,osd=2x,lockcs=0.5,flusher=pinned")
+	fuzzN := flag.Int("fuzz", 0, "run a deterministic fuzz sweep of N scenarios and exit (see FUZZING in EXPERIMENTS.md)")
+	fuzzSeed := flag.Int64("seed", 1, "scenario generator seed for -fuzz")
+	fuzzDir := flag.String("fuzzdir", "fuzz-repros", "directory for shrunk reproducer specs of failing fuzz scenarios ('' disables)")
+	fuzzSpec := flag.String("fuzzspec", "", "replay one fuzz reproducer spec file and check its invariants")
 	flag.Parse()
+
+	if *fuzzSpec != "" {
+		f, err := os.Open(*fuzzSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc, err := fuzz.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(fuzz.RunSpec(os.Stdout, sc)) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *fuzzN > 0 {
+		sum, err := fuzz.Sweep(fuzz.Options{
+			N: *fuzzN, Seed: *fuzzSeed, Out: os.Stdout, ReproDir: *fuzzDir,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if sum.Violations > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *whatIfSpec != "" {
 		w, err := blame.ParseWhatIf(*whatIfSpec)
@@ -369,6 +406,27 @@ func runBlameSweep(scale experiments.Scale) {
 			blame.RenderWhatIf(os.Stdout, cmp)
 		}
 		fmt.Println()
+	}
+}
+
+func runFuzzSweep(scale experiments.Scale) {
+	// The experiment-family entry point runs a fixed-seed sweep sized
+	// by scale; heavier audits use `danausbench -fuzz N -seed S`.
+	n := 10
+	switch {
+	case scale.Factor >= 1:
+		n = 200
+	case scale.Factor >= 0.1:
+		n = 50
+	}
+	fmt.Printf("Fuzz sweep: %d seeded scenarios through the invariant registry\n", n)
+	sum, err := fuzz.Sweep(fuzz.Options{N: n, Seed: 1, Out: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if sum.Violations > 0 {
+		os.Exit(1)
 	}
 }
 

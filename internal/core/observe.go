@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/kern"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -145,6 +146,11 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 			// flusher-side holds) is kept under a separate key.
 			merge(t.Lock("client_lock_total"), lockAgg(c.ClientLock().Stats()))
 		}
+		// Scaleup clones share their kernel mount (MountSpec.
+		// SharedKernelMount), so fault counters are summed per distinct
+		// mount, not per container — a shared mount counted once per
+		// clone would double every retry and failover.
+		seenMounts := map[*kern.Mount]bool{}
 		for _, cont := range p.containers {
 			if u := cont.Mount.Union; u != nil {
 				t.AddCounter("copy_ups", int64(u.CopyUps()))
@@ -155,7 +161,8 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 				t.AddCounter("ipc_wakeups", int64(tr.Wakeups()))
 				t.AddCounter("ipc_scale_events", int64(tr.ScaleEvents()))
 			}
-			if m := cont.Mount.KernelMount; m != nil {
+			if m := cont.Mount.KernelMount; m != nil && !seenMounts[m] {
+				seenMounts[m] = true
 				if fs, ok := m.Store().(interface {
 					FaultStats() metrics.FaultCounters
 				}); ok {

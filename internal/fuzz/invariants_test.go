@@ -1,0 +1,170 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blame"
+	"repro/internal/metrics"
+)
+
+// cleanOutcome builds a synthetic outcome every checker accepts: the
+// mutation tests below each corrupt one aspect of it and assert that
+// exactly the targeted checker — and no other — fires. A checker that
+// stays silent on its own corruption is a dead oracle.
+func cleanOutcome() *Outcome {
+	mk := func() *Result {
+		req := blame.Request{
+			Span: 1, Tenant: "victim", Op: "fsync", Dur: 3 * time.Millisecond,
+			Buckets: []blame.Bucket{
+				{Name: blame.BucketOSD, Dur: 2 * time.Millisecond},
+				{Name: blame.BucketOther, Dur: time.Millisecond},
+			},
+		}
+		return &Result{
+			WriteOps: 100, ReadOps: 100,
+			WriteMean: time.Millisecond, ReadMean: time.Millisecond,
+			AckedBytes: 1 << 20, StoredBytes: 1 << 20,
+			Report:       blame.Report{Requests: 1, PerRequest: []blame.Request{req}},
+			ArtifactHash: "feedfacefeedfacefeedface",
+			Summary:      "w=100 r=100",
+		}
+	}
+	return &Outcome{
+		Scenario: Scenario{
+			Duration: 60 * time.Millisecond,
+			Tenants:  []Tenant{{Workload: "randio", Threads: 1}},
+		},
+		Full:   mk(),
+		Replay: mk(),
+		Solo:   mk(),
+	}
+}
+
+// only asserts that CheckAll on o reports the named checker and nothing
+// else.
+func only(t *testing.T, o *Outcome, checker string) {
+	t.Helper()
+	vs := CheckAll(o)
+	if len(vs) == 0 {
+		t.Fatalf("corrupted outcome passed every invariant, want %s to fire", checker)
+	}
+	for _, v := range vs {
+		if v.Checker != checker {
+			t.Fatalf("unexpected violation %v (want only %s)", v, checker)
+		}
+	}
+}
+
+func TestCleanOutcomePassesAllCheckers(t *testing.T) {
+	if vs := CheckAll(cleanOutcome()); len(vs) != 0 {
+		t.Fatalf("clean outcome violates: %v", vs)
+	}
+}
+
+func TestCheckerFiresOnDataLoss(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.AckedBytes = o.Full.StoredBytes + 4096
+	only(t, o, "zero-data-loss")
+}
+
+func TestCheckerFiresOnBlameSumMismatch(t *testing.T) {
+	o := cleanOutcome()
+	o.Replay.Report.PerRequest[0].Dur += time.Microsecond
+	only(t, o, "blame-sum")
+}
+
+func TestCheckerFiresOnNegativeBucket(t *testing.T) {
+	o := cleanOutcome()
+	// Keep the sum exact but drive the residual negative — the exact
+	// shape of the netsim over-reporting bug.
+	reqs := o.Solo.Report.PerRequest
+	reqs[0].Buckets[0].Dur += 2 * time.Millisecond
+	reqs[0].Buckets[1].Dur -= 2 * time.Millisecond
+	only(t, o, "blame-sum")
+}
+
+func TestCheckerFiresOnBlameSumOverflowCap(t *testing.T) {
+	o := cleanOutcome()
+	bad := o.Full.Report.PerRequest[0]
+	bad.Dur += time.Microsecond
+	for i := 0; i < 6; i++ {
+		o.Full.Report.PerRequest = append(o.Full.Report.PerRequest, bad)
+	}
+	vs := CheckAll(o)
+	// 3 detailed breaches plus one "... and N more" line.
+	if len(vs) != 4 {
+		t.Fatalf("got %d violations, want 3 detailed + 1 overflow: %v", len(vs), vs)
+	}
+}
+
+func TestCheckerFiresOnSpanLeak(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.Leaked = []string{"victim/fsync span 9"}
+	only(t, o, "span-leak")
+}
+
+func TestCheckerFiresOnReplayHashDivergence(t *testing.T) {
+	o := cleanOutcome()
+	o.Replay.ArtifactHash = "deadbeefdeadbeefdeadbeef"
+	only(t, o, "replay-determinism")
+}
+
+func TestCheckerFiresOnReplaySummaryDivergence(t *testing.T) {
+	o := cleanOutcome()
+	o.Replay.Summary = "w=99 r=100"
+	only(t, o, "replay-determinism")
+}
+
+func TestCheckerFiresOnIsolationBreach(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.WriteMean = IsolationBound(o.Scenario, o.Solo.WriteMean) + time.Millisecond
+	only(t, o, "isolation-bound")
+}
+
+func TestIsolationSkippedBelowFloor(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.WriteMean = time.Hour
+	o.Full.WriteOps = isolationFloorOps - 1
+	if vs := CheckAll(o); len(vs) != 0 {
+		t.Fatalf("under-sampled run should skip the isolation bound: %v", vs)
+	}
+}
+
+func TestCheckerFiresOnFaultsWithoutSchedule(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.Faults = metrics.FaultCounters{Retries: 3}
+	o.Full.RegistryFaults = o.Full.Faults
+	only(t, o, "fault-accounting")
+}
+
+func TestCheckerFiresOnRegistryMismatch(t *testing.T) {
+	o := cleanOutcome()
+	o.Scenario.Schedule = "osd-crash:@wal:10ms-20ms"
+	o.Full.Faults = metrics.FaultCounters{Retries: 3}
+	// The harvest double-count bug: registry sees every counter twice.
+	o.Full.RegistryFaults = metrics.FaultCounters{Retries: 6}
+	only(t, o, "fault-accounting")
+}
+
+// Every checker in the registry must be exercised by a mutation above;
+// this guards against registering a new invariant without a dead-oracle
+// test.
+func TestEveryCheckerHasAMutation(t *testing.T) {
+	covered := map[string]bool{
+		"zero-data-loss":     true,
+		"blame-sum":          true,
+		"span-leak":          true,
+		"replay-determinism": true,
+		"isolation-bound":    true,
+		"fault-accounting":   true,
+	}
+	for _, c := range Checkers() {
+		if !covered[c.Name] {
+			t.Errorf("checker %q has no mutation test", c.Name)
+		}
+	}
+	if len(Checkers()) != len(covered) {
+		t.Errorf("registry has %d checkers, mutations cover %d", len(Checkers()), len(covered))
+	}
+}

@@ -1,0 +1,423 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/blame"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/kern"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// Result is everything the invariant checkers need from one finished
+// testbed run of a scenario.
+type Result struct {
+	// Victim probe measurements (WAL fsync writer, cold backend reader).
+	WriteOps  uint64
+	ReadOps   uint64
+	Errors    uint64
+	WriteMean time.Duration
+	ReadMean  time.Duration
+
+	// AckedBytes is the fsync-acknowledged WAL size; StoredBytes is
+	// what the cluster can reconstruct after the schedule completed.
+	AckedBytes  int64
+	StoredBytes int64
+
+	// Faults sums the victim pool's client fault counters, counting
+	// each shared client or kernel mount exactly once.
+	Faults metrics.FaultCounters
+	// RegistryFaults is the victim tenant's fault aggregate as
+	// harvested into the observability registry (must match Faults).
+	RegistryFaults metrics.FaultCounters
+
+	// Leaked lists spans opened but never ended at engine drain.
+	Leaked []string
+	// Unattributed counts waits observed with no bound span.
+	Unattributed uint64
+	// Report is the blame analysis of the run.
+	Report blame.Report
+	// ArtifactHash is a SHA-256 over the run's exported trace, metrics
+	// and blame artifacts — the replay-determinism fingerprint.
+	ArtifactHash string
+	// Summary is a deterministic one-line digest for sweep output.
+	Summary string
+}
+
+// Evaluate runs a scenario through the full pipeline the checkers
+// consume: the run itself, an identical replay (determinism), and —
+// when co-tenants exist — a solo run with the tenants removed (the
+// isolation baseline).
+func Evaluate(sc Scenario) *Outcome {
+	o := &Outcome{Scenario: sc}
+	o.Full = RunScenario(sc, false)
+	o.Replay = RunScenario(sc, false)
+	if len(sc.Tenants) > 0 {
+		o.Solo = RunScenario(sc, true)
+	}
+	return o
+}
+
+// scale converts the scenario sizing into the experiments form.
+func (sc Scenario) scale() experiments.Scale {
+	return experiments.Scale{Factor: sc.Factor, Duration: sc.Duration, Warmup: sc.Warmup}
+}
+
+// victimFaultStats sums fault counters over every distinct client and
+// kernel Ceph store mounted in the pool. Shared clients and shared
+// kernel mounts (scaleup clones) are counted once.
+func victimFaultStats(pool *core.Pool) metrics.FaultCounters {
+	var total metrics.FaultCounters
+	seen := map[interface{}]bool{}
+	for _, cont := range pool.Containers() {
+		if c := cont.Mount.Client; c != nil && !seen[c] {
+			seen[c] = true
+			total.Add(c.FaultStats())
+		}
+		if m := cont.Mount.KernelMount; m != nil && !seen[m] {
+			seen[m] = true
+			if cs, ok := m.Store().(*kern.CephStore); ok {
+				total.Add(cs.FaultStats())
+			}
+		}
+	}
+	return total
+}
+
+// RunScenario executes one scenario on a fresh testbed and collects
+// the checker inputs. With solo set, the co-tenant workloads (and
+// their pools) are omitted while the host stays identically sized —
+// the isolation baseline the victim is compared against.
+func RunScenario(sc Scenario, solo bool) *Result {
+	scale := sc.scale()
+	cores := 2 * (1 + len(sc.Tenants))
+	tb := core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params()})
+	rec := obs.New(obs.Config{Clock: tb.Eng.Now})
+	tb.AttachObserver(rec)
+	tb.Cluster.SetReplication(sc.Replication)
+
+	res := &Result{}
+	poolMem := scale.PoolMem()
+	var cacheBytes int64
+	if sc.CacheFrac > 0 {
+		cacheBytes = poolMem / int64(sc.CacheFrac)
+	}
+
+	if err := tb.Cluster.ProvisionDir("/containers/victim"); err != nil {
+		panic(err)
+	}
+	victimPool := tb.NewPool("victim", cpu.MaskRange(0, 2), poolMem)
+	victim, err := victimPool.NewContainer("victim", core.MountSpec{
+		Config: sc.Config, UpperDir: "/containers/victim", CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if sc.SharedMount {
+		// A scaleup clone: same image, same client/kernel mount. It
+		// runs no workload of its own; its presence exercises the
+		// shared-mount accounting paths.
+		if _, err := victimPool.NewContainer("victim-clone", core.MountSpec{
+			Config: sc.Config, UpperDir: "/containers/victim", CacheBytes: cacheBytes,
+			SharedClient: victim.Mount.Client, SharedKernelMount: victim.Mount.KernelMount,
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	type tenantInst struct {
+		spec Tenant
+		cont *core.Container
+		fs   vfsapi.FileSystem
+	}
+	var tenants []tenantInst
+	if !solo {
+		for i, t := range sc.Tenants {
+			dir := fmt.Sprintf("/containers/t%d", i)
+			if err := tb.Cluster.ProvisionDir(dir); err != nil {
+				panic(err)
+			}
+			pool := tb.NewPool(fmt.Sprintf("t%d", i), cpu.MaskRange(2+2*i, 4+2*i), poolMem)
+			cont, err := pool.NewContainer(fmt.Sprintf("t%d", i), core.MountSpec{
+				Config: sc.Config, UpperDir: dir, CacheBytes: cacheBytes,
+			})
+			if err != nil {
+				panic(err)
+			}
+			inst := tenantInst{spec: t, cont: cont, fs: cont.Mount.Default}
+			if t.Workload == "randio" {
+				// The paper's noisy neighbour runs on the local ext4
+				// array through the shared kernel.
+				inst.fs = kern.NewSyscalls(tb.Kernel, tb.LocalFS)
+			}
+			tenants = append(tenants, inst)
+		}
+	}
+
+	// The cold file overflows every cache tier so victim reads keep
+	// hitting the backend through any fault window.
+	coldSize := poolMem + poolMem/2
+	const walOp = 64 << 10
+	const readChunk = 256 << 10
+
+	tb.Eng.Go("master", func(p *sim.Proc) {
+		defer tb.Stop()
+
+		g := workloads.NewGroup(tb.Eng)
+		g.Go("prep-victim", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.CREATE|vfsapi.WRONLY)
+			if err != nil {
+				panic(err)
+			}
+			if err := h.Close(ctx); err != nil {
+				panic(err)
+			}
+			cold, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.CREATE|vfsapi.WRONLY)
+			if err != nil {
+				panic(err)
+			}
+			for written := int64(0); written < coldSize; written += 1 << 20 {
+				if _, err := cold.Append(ctx, 1<<20); err != nil {
+					panic(err)
+				}
+			}
+			if err := cold.Fsync(ctx); err != nil {
+				panic(err)
+			}
+			if err := cold.Close(ctx); err != nil {
+				panic(err)
+			}
+		})
+
+		type runner interface {
+			Run(g *workloads.Group, clock workloads.Clock)
+		}
+		runners := make([]runner, len(tenants))
+		dbs := make([]*kvstore.DB, len(tenants))
+		for i := range tenants {
+			i := i
+			in := tenants[i]
+			seed := workloads.StreamSeed(sc.Seed, in.spec.Workload, i)
+			g.Go(fmt.Sprintf("prep-t%d", i), func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: in.cont.NewThread()}
+				switch in.spec.Workload {
+				case "fileserver":
+					w := &workloads.Fileserver{
+						FS: in.fs, Dir: "/flsdata", NewThread: in.cont.NewThread,
+						Seed: seed, Threads: in.spec.Threads,
+						Files: 12, MeanFileSize: 256 << 10,
+					}
+					w.Defaults(scale.Factor)
+					if err := w.Prepare(ctx); err != nil {
+						panic(err)
+					}
+					runners[i] = w
+				case "webserver":
+					w := &workloads.Webserver{
+						FS: in.fs, Dir: "/webdata", NewThread: in.cont.NewThread,
+						Seed: seed, Threads: in.spec.Threads, Files: 100,
+					}
+					w.Defaults(scale.Factor)
+					if err := w.Prepare(ctx); err != nil {
+						panic(err)
+					}
+					runners[i] = w
+				case "kvput":
+					db, err := kvstore.Open(ctx, kvstore.Config{
+						FS: in.fs, Dir: "/kv", MemtableBytes: 4 << 20,
+						Eng: tb.Eng, Params: tb.Params, NewThread: in.cont.NewThread,
+					})
+					if err != nil {
+						panic(err)
+					}
+					dbs[i] = db
+					runners[i] = &workloads.KVPut{
+						DB: db, TotalBytes: 4 << 20, ValueSize: 64 << 10,
+						Threads: in.spec.Threads, Seed: seed, NewThread: in.cont.NewThread,
+						Stats: workloads.NewStats(),
+					}
+				case "randio":
+					w := &workloads.RandomIO{
+						FS: in.fs, Path: fmt.Sprintf("/rnd%d", i), NewThread: in.cont.NewThread,
+						Seed: seed, Threads: in.spec.Threads, FileSize: 8 << 20,
+					}
+					w.Defaults(scale.Factor)
+					if err := w.Prepare(ctx); err != nil {
+						panic(err)
+					}
+					runners[i] = w
+				default:
+					panic("fuzz: unknown tenant workload " + in.spec.Workload)
+				}
+			})
+		}
+		g.Wait(p)
+
+		now := tb.Eng.Now()
+		clock := workloads.Clock{Eng: tb.Eng, From: now + sc.Warmup, Stop: now + sc.Warmup + sc.Duration}
+
+		walNode, err := tb.Cluster.Tree().Lookup("/containers/victim/wal")
+		if err != nil {
+			panic(err)
+		}
+		walIno := walNode.Ino
+		sched := strings.ReplaceAll(sc.Schedule, "@wal",
+			strconv.Itoa(tb.Cluster.PlacementOf(walIno, 0)))
+		plan, err := faults.Parse(sched)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := faults.Install(tb.Eng, tb.Cluster, plan, clock.From); err != nil {
+			panic(err)
+		}
+
+		writer := workloads.NewStats()
+		reader := workloads.NewStats()
+		var acked, walSize int64
+
+		run := workloads.NewGroup(tb.Eng)
+		run.Go("wal-writer", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.WRONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			for !clock.Done() {
+				start := pp.Now()
+				_, werr := h.Append(ctx, walOp)
+				if werr == nil {
+					walSize += walOp
+					werr = h.Fsync(ctx)
+				}
+				if werr != nil {
+					if clock.Measuring() {
+						writer.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					continue
+				}
+				// A successful fsync drained every dirty WAL extent, so
+				// everything appended so far is acknowledged durable.
+				acked = walSize
+				if clock.Measuring() {
+					writer.Record(walOp, pp.Now()-start)
+				}
+			}
+		})
+		run.Go("cold-reader", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, readChunk)
+				if rerr != nil {
+					if clock.Measuring() {
+						reader.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+				} else if clock.Measuring() {
+					reader.Record(n, pp.Now()-start)
+				}
+				off += readChunk
+				if off >= coldSize {
+					off = 0
+				}
+			}
+		})
+		for i, w := range runners {
+			if w == nil {
+				panic(fmt.Sprintf("fuzz: tenant %d has no runner", i))
+			}
+			w.Run(run, clock)
+		}
+		run.Wait(p)
+
+		// A kvstore keeps a background compaction loop alive until closed;
+		// an open DB would re-arm its timer forever and the engine would
+		// never drain.
+		for i, db := range dbs {
+			if db != nil {
+				db.Close(vfsapi.Ctx{P: p, T: tenants[i].cont.NewThread()})
+			}
+		}
+
+		// Collect durability evidence only after every fault window has
+		// disarmed: a crashed OSD still down at collection time would
+		// read as (transient) data loss.
+		var lastEnd time.Duration
+		for _, w := range plan.Windows {
+			if w.End > lastEnd {
+				lastEnd = w.End
+			}
+		}
+		if settle := clock.From + lastEnd + time.Millisecond; tb.Eng.Now() < settle {
+			p.Sleep(settle - tb.Eng.Now())
+		}
+
+		res.WriteOps = writer.Ops.Ops
+		res.ReadOps = reader.Ops.Ops
+		res.Errors = writer.Errors + reader.Errors
+		res.WriteMean = writer.Latency.Mean()
+		res.ReadMean = reader.Latency.Mean()
+		res.AckedBytes = acked
+		res.StoredBytes = tb.Cluster.StoredSize(walIno)
+		res.Faults = victimFaultStats(victimPool)
+	})
+	tb.Eng.Run()
+
+	rec.Finalize()
+	res.RegistryFaults = rec.Registry().Tenant("victim").Faults()
+	res.Leaked = rec.LeakedSpans()
+	res.Unattributed = rec.UnattributedWaits()
+	res.Report = blame.Analyze("fuzz", rec)
+	res.ArtifactHash = hashArtifacts(rec, res.Report)
+	res.Summary = res.summaryLine()
+	return res
+}
+
+// hashArtifacts fingerprints the run's exported artifacts: the
+// Perfetto trace, the metrics JSON and the blame JSON, all of which
+// must be byte-identical across replays of one scenario.
+func hashArtifacts(rec *obs.Recorder, rep blame.Report) string {
+	h := sha256.New()
+	runs := []obs.Run{{Label: "fuzz", Rec: rec}}
+	if err := obs.WriteTrace(h, runs); err != nil {
+		panic(err)
+	}
+	if err := obs.WriteMetrics(h, runs); err != nil {
+		panic(err)
+	}
+	if err := blame.WriteJSON(h, []blame.Report{rep}); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// summaryLine renders the deterministic per-run digest.
+func (r *Result) summaryLine() string {
+	return fmt.Sprintf("w=%d/%v r=%d/%v err=%d acked=%d stored=%d retries=%d failovers=%d misses=%d reqs=%d leaks=%d hash=%s",
+		r.WriteOps, r.WriteMean, r.ReadOps, r.ReadMean, r.Errors,
+		r.AckedBytes, r.StoredBytes,
+		r.Faults.Retries, r.Faults.Failovers, r.Faults.DeadlineMisses,
+		r.Report.Requests, len(r.Leaked), r.ArtifactHash[:12])
+}

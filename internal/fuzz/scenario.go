@@ -1,0 +1,283 @@
+package fuzz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Tenant is one co-located workload instance sharing the testbed with
+// the victim probe, in its own 2-core pool.
+type Tenant struct {
+	// Workload names the generator: "fileserver", "webserver", "kvput"
+	// (cluster-backed, own container) or "randio" (local ext4, the
+	// paper's noisy neighbour).
+	Workload string
+	// Threads is the worker count of the instance.
+	Threads int
+}
+
+// Scenario is one randomly composed but fully deterministic testbed
+// run: a Table 1 client configuration, replication and cache sizing, a
+// scale, a fault schedule, and a workload mix. Every field is
+// serializable (WriteSpec/ParseSpec round-trip), so a failing scenario
+// is a replayable artifact.
+type Scenario struct {
+	// ID is the scenario's index in its sweep (0 for hand-built ones).
+	ID int
+	// Seed drives every workload RNG stream of the run.
+	Seed int64
+	// Config is the client system composition under test.
+	Config core.Configuration
+	// Replication is the cluster's object replication level.
+	Replication int
+	// SharedMount clones the victim container over the victim's client
+	// (or kernel mount), the paper's scaleup sharing mode.
+	SharedMount bool
+	// Factor scales dataset sizes and pool memory (experiments.Scale).
+	Factor float64
+	// CacheFrac sizes the user-level client cache as PoolMem/CacheFrac
+	// (0 = the default half).
+	CacheFrac int
+	// Warmup precedes the measurement window.
+	Warmup time.Duration
+	// Duration is the measurement window; fault windows land inside it.
+	Duration time.Duration
+	// Schedule is a faults.Parse schedule relative to the window start;
+	// the token "@wal" resolves to the OSD holding the victim WAL's
+	// first object.
+	Schedule string
+	// Tenants are the co-located workloads (the victim probe always
+	// runs; an empty list is a solo scenario).
+	Tenants []Tenant
+}
+
+// tenantWorkloads are the generator's workload vocabulary.
+var tenantWorkloads = []string{"fileserver", "webserver", "kvput", "randio"}
+
+// genConfigs are the configurations the generator draws from, weighted
+// toward the paper's two main contenders.
+var genConfigs = []core.Configuration{
+	core.ConfigD, core.ConfigD, core.ConfigK, core.ConfigK, core.ConfigF, core.ConfigFP,
+}
+
+// pctOf returns p percent of d.
+func pctOf(d time.Duration, p int) time.Duration {
+	return d * time.Duration(p) / 100
+}
+
+// Generate derives scenario `index` of the sweep seeded with baseSeed.
+// The same (baseSeed, index) pair always produces the same scenario.
+func Generate(baseSeed int64, index int) Scenario {
+	r := newRNG(uint64(baseSeed)<<17 ^ uint64(index+1)*0x9e3779b97f4a7c15)
+	sc := Scenario{
+		ID:          index,
+		Seed:        int64(r.next() >> 1),
+		Config:      pick(r, genConfigs),
+		Replication: pick(r, []int{1, 2, 2, 3}),
+		SharedMount: r.chance(1, 4),
+		Factor:      pick(r, []float64{0.01, 0.02, 0.03}),
+		CacheFrac:   pick(r, []int{2, 3, 4}),
+		Warmup:      pick(r, []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}),
+		Duration:    time.Duration(60+20*r.intn(6)) * time.Millisecond,
+	}
+
+	nTenants := pick(r, []int{0, 1, 1, 1, 2, 2})
+	for i := 0; i < nTenants; i++ {
+		sc.Tenants = append(sc.Tenants, Tenant{
+			Workload: pick(r, tenantWorkloads),
+			Threads:  1 + r.intn(3),
+		})
+	}
+
+	// Fault schedule: up to three windows inside the measurement
+	// window, each kind at most once so same-kind windows can never
+	// overlap on one target (the injector rejects that).
+	nWindows := pick(r, []int{0, 0, 1, 1, 2, 2, 3})
+	kinds := []int{0, 1, 2, 3, 4, 5}
+	var entries []string
+	for i := 0; i < nWindows; i++ {
+		ki := r.intn(len(kinds))
+		kind := kinds[ki]
+		kinds = append(kinds[:ki], kinds[ki+1:]...)
+		start := pctOf(sc.Duration, 5+r.intn(55))
+		end := start + pctOf(sc.Duration, 5+r.intn(30))
+		span := fmt.Sprintf("%v-%v", start, end)
+		switch kind {
+		case 0:
+			entries = append(entries, "osd-crash:@wal:"+span)
+		case 1:
+			entries = append(entries, fmt.Sprintf("osd-degrade:@wal:%dx:%s", pick(r, []int{2, 4, 8}), span))
+		case 2:
+			target := pick(r, []string{"client", "@wal"})
+			extra := pick(r, []time.Duration{200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond})
+			entries = append(entries, fmt.Sprintf("net-spike:%s:%v:%s", target, extra, span))
+		case 3:
+			entries = append(entries, fmt.Sprintf("net-drop:@wal:%d:%s", pick(r, []int{2, 3, 7}), span))
+		case 4:
+			entries = append(entries, "net-partition:@wal:"+span)
+		case 5:
+			entries = append(entries, "mds-stall:"+span)
+		}
+	}
+	sc.Schedule = strings.Join(entries, ";")
+	return sc
+}
+
+// ScheduleWindows returns the schedule's entries (empty slice for an
+// empty schedule) — the shrinker drops entries without resolving the
+// "@wal" placeholder.
+func (sc Scenario) ScheduleWindows() []string {
+	if sc.Schedule == "" {
+		return nil
+	}
+	return strings.Split(sc.Schedule, ";")
+}
+
+// String renders the scenario compactly for sweep output.
+func (sc Scenario) String() string {
+	tenants := make([]string, len(sc.Tenants))
+	for i, t := range sc.Tenants {
+		tenants[i] = fmt.Sprintf("%s:%d", t.Workload, t.Threads)
+	}
+	shared := ""
+	if sc.SharedMount {
+		shared = " shared"
+	}
+	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d",
+		sc.Config, sc.Replication, shared, sc.CacheFrac, sc.Factor,
+		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()))
+}
+
+// configNames maps Table 1 symbols to configurations for spec parsing.
+var configNames = func() map[string]core.Configuration {
+	m := map[string]core.Configuration{}
+	for _, c := range core.AllConfigurations() {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// ParseConfiguration resolves a Table 1 symbol ("D", "K", "F/K", ...).
+func ParseConfiguration(s string) (core.Configuration, error) {
+	c, ok := configNames[s]
+	if !ok {
+		names := make([]string, 0, len(configNames))
+		for n := range configNames {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return 0, fmt.Errorf("fuzz: unknown configuration %q (want one of %s)", s, strings.Join(names, " "))
+	}
+	return c, nil
+}
+
+// WriteSpec serializes the scenario as a replayable spec file. Comment
+// lines describing the violation may be passed through as header.
+func WriteSpec(w io.Writer, sc Scenario, header ...string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# danaus fuzz scenario spec v1")
+	for _, h := range header {
+		fmt.Fprintln(bw, "# "+h)
+	}
+	fmt.Fprintf(bw, "seed=%d\n", sc.Seed)
+	fmt.Fprintf(bw, "config=%v\n", sc.Config)
+	fmt.Fprintf(bw, "replication=%d\n", sc.Replication)
+	fmt.Fprintf(bw, "sharedmount=%t\n", sc.SharedMount)
+	fmt.Fprintf(bw, "factor=%s\n", strconv.FormatFloat(sc.Factor, 'g', -1, 64))
+	fmt.Fprintf(bw, "cachefrac=%d\n", sc.CacheFrac)
+	fmt.Fprintf(bw, "warmup=%v\n", sc.Warmup)
+	fmt.Fprintf(bw, "duration=%v\n", sc.Duration)
+	if sc.Schedule != "" {
+		fmt.Fprintf(bw, "schedule=%s\n", sc.Schedule)
+	}
+	for _, t := range sc.Tenants {
+		fmt.Fprintf(bw, "tenant=%s:%d\n", t.Workload, t.Threads)
+	}
+	return bw.Flush()
+}
+
+// ParseSpec reads a spec file written by WriteSpec.
+func ParseSpec(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	sn := bufio.NewScanner(r)
+	line := 0
+	for sn.Scan() {
+		line++
+		text := strings.TrimSpace(sn.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(text, "=")
+		if !ok {
+			return sc, fmt.Errorf("fuzz: spec line %d: want key=value, got %q", line, text)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "config":
+			sc.Config, err = ParseConfiguration(val)
+		case "replication":
+			sc.Replication, err = strconv.Atoi(val)
+		case "sharedmount":
+			sc.SharedMount, err = strconv.ParseBool(val)
+		case "factor":
+			sc.Factor, err = strconv.ParseFloat(val, 64)
+		case "cachefrac":
+			sc.CacheFrac, err = strconv.Atoi(val)
+		case "warmup":
+			sc.Warmup, err = time.ParseDuration(val)
+		case "duration":
+			sc.Duration, err = time.ParseDuration(val)
+		case "schedule":
+			sc.Schedule = val
+		case "tenant":
+			name, threads, ok := strings.Cut(val, ":")
+			if !ok {
+				return sc, fmt.Errorf("fuzz: spec line %d: want tenant=<workload>:<threads>", line)
+			}
+			n, terr := strconv.Atoi(threads)
+			if terr != nil || n <= 0 {
+				return sc, fmt.Errorf("fuzz: spec line %d: bad thread count %q", line, threads)
+			}
+			valid := false
+			for _, w := range tenantWorkloads {
+				if w == name {
+					valid = true
+				}
+			}
+			if !valid {
+				return sc, fmt.Errorf("fuzz: spec line %d: unknown workload %q", line, name)
+			}
+			sc.Tenants = append(sc.Tenants, Tenant{Workload: name, Threads: n})
+		default:
+			return sc, fmt.Errorf("fuzz: spec line %d: unknown key %q", line, key)
+		}
+		if err != nil {
+			return sc, fmt.Errorf("fuzz: spec line %d: bad %s: %v", line, key, err)
+		}
+	}
+	if err := sn.Err(); err != nil {
+		return sc, err
+	}
+	if sc.Duration <= 0 {
+		return sc, fmt.Errorf("fuzz: spec needs duration > 0")
+	}
+	if sc.Replication <= 0 {
+		sc.Replication = 2
+	}
+	if sc.Factor <= 0 {
+		sc.Factor = 0.02
+	}
+	if sc.Warmup <= 0 {
+		sc.Warmup = 10 * time.Millisecond
+	}
+	return sc, nil
+}

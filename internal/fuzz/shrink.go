@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"strings"
+	"time"
+)
+
+// Oracle evaluates a scenario and returns its invariant violations.
+// The shrinker treats it as a black box; DefaultOracle runs the real
+// pipeline.
+type Oracle func(Scenario) []Violation
+
+// DefaultOracle runs the scenario through Evaluate and the full
+// checker registry.
+func DefaultOracle(sc Scenario) []Violation { return CheckAll(Evaluate(sc)) }
+
+// minDuration is the shortest measurement window the shrinker tries.
+const minDuration = 30 * time.Millisecond
+
+// Shrink reduces a failing scenario to a smaller reproducer that still
+// violates the named checker: it greedily drops tenants, drops and
+// bisects fault windows, reduces thread counts, and halves the window,
+// re-running the oracle after each candidate and keeping every
+// reduction that preserves the failure. budget caps oracle
+// evaluations (each is a full scenario pipeline); <= 0 means 100.
+func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
+	if budget <= 0 {
+		budget = 100
+	}
+	still := func(c Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		for _, v := range oracle(c) {
+			if v.Checker == checker {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := sc
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+
+		// Drop tenants, last first (indices shift on removal).
+		for i := len(cur.Tenants) - 1; i >= 0; i-- {
+			cand := cur
+			cand.Tenants = append(append([]Tenant{}, cur.Tenants[:i]...), cur.Tenants[i+1:]...)
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		// Drop fault windows one at a time.
+		windows := cur.ScheduleWindows()
+		for i := len(windows) - 1; i >= 0; i-- {
+			rest := append(append([]string{}, windows[:i]...), windows[i+1:]...)
+			cand := cur
+			cand.Schedule = strings.Join(rest, ";")
+			if still(cand) {
+				cur = cand
+				windows = rest
+				improved = true
+			}
+		}
+		// Bisect what remains: try keeping only the first half, then
+		// only the second (useful when single drops all fail).
+		if n := len(windows); n > 1 {
+			for _, half := range [][]string{windows[:n/2], windows[n/2:]} {
+				cand := cur
+				cand.Schedule = strings.Join(half, ";")
+				if still(cand) {
+					cur = cand
+					windows = cand.ScheduleWindows()
+					improved = true
+					break
+				}
+			}
+		}
+
+		// Reduce tenant thread counts to one.
+		for i := range cur.Tenants {
+			if cur.Tenants[i].Threads <= 1 {
+				continue
+			}
+			cand := cur
+			cand.Tenants = append([]Tenant{}, cur.Tenants...)
+			cand.Tenants[i].Threads = 1
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		// Shorten the run.
+		if cur.Duration/2 >= minDuration {
+			cand := cur
+			cand.Duration = cur.Duration / 2
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		if cur.SharedMount {
+			cand := cur
+			cand.SharedMount = false
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		if !improved || budget <= 0 {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,94 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// knownBad builds a deliberately fat failing scenario: two three-thread
+// tenants, three fault windows, a shared mount and a long window.
+func knownBad() Scenario {
+	return Scenario{
+		Seed:        42,
+		Replication: 2,
+		SharedMount: true,
+		Factor:      0.02,
+		CacheFrac:   2,
+		Warmup:      10 * time.Millisecond,
+		Duration:    120 * time.Millisecond,
+		Schedule: "osd-crash:@wal:10ms-20ms;" +
+			"net-spike:client:1ms:30ms-50ms;" +
+			"mds-stall:60ms-70ms",
+		Tenants: []Tenant{
+			{Workload: "fileserver", Threads: 3},
+			{Workload: "kvput", Threads: 3},
+		},
+	}
+}
+
+// spikeOracle fails any scenario whose schedule still has the
+// net-spike window — the one ingredient the "failure" depends on.
+func spikeOracle(evals *int) Oracle {
+	return func(sc Scenario) []Violation {
+		*evals++
+		if strings.Contains(sc.Schedule, "net-spike") {
+			return []Violation{{Checker: "blame-sum", Detail: "synthetic"}}
+		}
+		return nil
+	}
+}
+
+func TestShrinkReducesToMinimalReproducer(t *testing.T) {
+	evals := 0
+	min := Shrink(knownBad(), "blame-sum", spikeOracle(&evals), 100)
+
+	if len(min.Tenants) != 0 {
+		t.Errorf("shrunk scenario keeps %d tenants, want 0", len(min.Tenants))
+	}
+	windows := min.ScheduleWindows()
+	if len(windows) != 1 || !strings.Contains(windows[0], "net-spike") {
+		t.Errorf("shrunk schedule %q, want only the net-spike window", min.Schedule)
+	}
+	if min.Duration != minDuration {
+		t.Errorf("shrunk duration %v, want the %v floor", min.Duration, minDuration)
+	}
+	if min.SharedMount {
+		t.Error("shrunk scenario keeps the shared mount")
+	}
+	if evals > 100 {
+		t.Errorf("shrinker spent %d oracle evaluations over its budget of 100", evals)
+	}
+	// The reduction must preserve the failure.
+	if vs := spikeOracle(new(int))(min); len(vs) == 0 {
+		t.Error("shrunk scenario no longer fails the oracle")
+	}
+}
+
+// A different checker failing is not the failure being chased: the
+// shrinker must not keep reductions that only fail some other way.
+func TestShrinkTracksNamedChecker(t *testing.T) {
+	oracle := func(sc Scenario) []Violation {
+		if len(sc.Tenants) == 2 {
+			return []Violation{{Checker: "span-leak", Detail: "needs both tenants"}}
+		}
+		return []Violation{{Checker: "blame-sum", Detail: "anything smaller"}}
+	}
+	min := Shrink(knownBad(), "span-leak", oracle, 100)
+	if len(min.Tenants) != 2 {
+		t.Fatalf("shrunk to %d tenants; span-leak needed both", len(min.Tenants))
+	}
+}
+
+// With a budget of zero reductions the input comes back unchanged.
+func TestShrinkExhaustedBudgetReturnsInput(t *testing.T) {
+	sc := knownBad()
+	evals := 0
+	min := Shrink(sc, "blame-sum", spikeOracle(&evals), 1)
+	// One evaluation allowed: the first candidate may be probed but no
+	// cascade of reductions can complete, and the result must still
+	// fail the oracle.
+	if !strings.Contains(min.Schedule, "net-spike") {
+		t.Fatalf("budget-starved shrink lost the failing ingredient: %q", min.Schedule)
+	}
+}

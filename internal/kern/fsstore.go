@@ -182,3 +182,15 @@ func (s *FSStore) WriteData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
 		h.Write(ctx, off, n)
 	}
 }
+
+// Fsync forwards a sync barrier to the inner filesystem: WriteData
+// only moved pages into the inner cache (the FUSE daemon's user-level
+// client), so durability requires the inner handle's own fsync — the
+// FUSE_FSYNC the kernel sends the daemon on an application fsync.
+func (s *FSStore) Fsync(ctx vfsapi.Ctx, ino uint64) error {
+	h, err := s.handle(ctx, ino)
+	if err != nil {
+		return err
+	}
+	return h.Fsync(ctx)
+}

@@ -160,3 +160,64 @@ func TestFSStoreDirectoryOps(t *testing.T) {
 		}
 	})
 }
+
+// syncCountFS wraps an inner filesystem and counts the fsyncs reaching
+// it through opened handles.
+type syncCountFS struct {
+	vfsapi.FileSystem
+	fsyncs int
+}
+
+func (f *syncCountFS) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	h, err := f.FileSystem.Open(ctx, path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &syncCountHandle{Handle: h, fs: f}, nil
+}
+
+type syncCountHandle struct {
+	vfsapi.Handle
+	fs *syncCountFS
+}
+
+func (h *syncCountHandle) Fsync(ctx vfsapi.Ctx) error {
+	h.fs.fsyncs++
+	return h.Handle.Fsync(ctx)
+}
+
+// An application fsync on a kernel mount stacked over another
+// filesystem (the FP double-caching stack) must propagate to the inner
+// filesystem: draining pages via WriteData only moves them into the
+// inner cache, so without the forwarded fsync acknowledged data is
+// still volatile in the user-level client (found by the fuzz sweep's
+// zero-data-loss invariant).
+func TestFsyncPropagatesToInnerFilesystem(t *testing.T) {
+	eng := sim.NewEngine()
+	params := model.Default()
+	cpus := cpu.New(eng, params, 4)
+	k := New(eng, cpus, params)
+	counting := &syncCountFS{FileSystem: memfs.New()}
+	m := k.Mount(NewFSStore(counting), MountConfig{Name: "fp"})
+	acct := cpu.NewAccount("a")
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := vfsapi.Ctx{P: p, T: cpus.NewThread(acct, 0)}
+		h, err := m.Open(ctx, "/f", vfsapi.CREATE|vfsapi.WRONLY)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := h.Append(ctx, 64<<10); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		if err := h.Fsync(ctx); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		h.Close(ctx)
+		k.Stop()
+	})
+	eng.Run()
+	if counting.fsyncs == 0 {
+		t.Fatal("fsync on the paged mount never reached the inner filesystem")
+	}
+}

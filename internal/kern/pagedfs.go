@@ -252,7 +252,25 @@ func (h *pagedHandle) Fsync(ctx vfsapi.Ctx) error {
 		m.throttleQ.Broadcast()
 	}
 	m.removeDirty(h.f)
-	return m.store.SetSize(ctx, h.f.ino, h.f.size)
+	if err := m.store.SetSize(ctx, h.f.ino, h.f.size); err != nil {
+		return err
+	}
+	// Draining pages into the store is only durable when the store
+	// itself persists them (disk, kernel Ceph client). A store stacked
+	// on another filesystem (FSStore over ceph-fuse: the FP and FP/FP
+	// double-caching stacks) merely moved the pages into the inner
+	// cache — the fsync must propagate down or acknowledged data is
+	// still volatile in the user-level client.
+	if fs, ok := m.store.(storeFsyncer); ok {
+		return fs.Fsync(ctx, h.f.ino)
+	}
+	return nil
+}
+
+// storeFsyncer is implemented by stores whose WriteData is not itself
+// durable and which must forward fsync to a lower layer.
+type storeFsyncer interface {
+	Fsync(ctx vfsapi.Ctx, ino uint64) error
 }
 
 // Close releases the handle, propagating the size for written files.

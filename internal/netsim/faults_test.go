@@ -124,3 +124,35 @@ func TestLinkDropEvery(t *testing.T) {
 		}
 	}
 }
+
+// A latency spike arming while a transfer is mid-propagation must not
+// inflate the reported wait: the wait observer must see exactly the
+// time the sender was blocked, or blame decomposition over-explains
+// the span and the "other" residual goes negative (found by the fuzz
+// sweep's blame-sum invariant).
+func TestSpikeArmedMidTransferReportsActualWait(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "l", 1<<20, time.Millisecond, 64<<10)
+	var reported, actual time.Duration
+	e.SetWaitObserver(func(p *sim.Proc, kind, resource, holder string, holderID int, start, dur time.Duration) {
+		if kind == "net" {
+			reported += dur
+		}
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		start := p.Now()
+		l.Transfer(p, 0)
+		actual = p.Now() - start
+	})
+	e.Go("spike", func(p *sim.Proc) {
+		p.Sleep(500 * time.Microsecond)
+		l.SetExtraLatency(5 * time.Millisecond)
+	})
+	e.Run()
+	if actual != time.Millisecond {
+		t.Fatalf("transfer blocked %v, want the pre-spike 1ms latency", actual)
+	}
+	if reported != actual {
+		t.Fatalf("observer saw %v of net wait for %v of blocking", reported, actual)
+	}
+}

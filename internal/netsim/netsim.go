@@ -70,9 +70,12 @@ func NewLink(eng *sim.Engine, name string, bytesPerSec int64, latency time.Durat
 func (l *Link) Transfer(p *sim.Proc, n int64) error {
 	if l.partitioned {
 		// The sender blocks for a timeout instead of a transmission; no
-		// bytes are delivered.
-		p.Sleep(l.latency + l.extraLatency)
-		p.ReportWait("net", l.name, "", 0, l.latency+l.extraLatency)
+		// bytes are delivered. Capture the delay before sleeping: a
+		// latency-spike window arming or disarming mid-sleep would make
+		// a re-evaluated report disagree with the time actually blocked.
+		d := l.latency + l.extraLatency
+		p.Sleep(d)
+		p.ReportWait("net", l.name, "", 0, d)
 		return ErrPartitioned
 	}
 	if n < 0 {
@@ -92,8 +95,12 @@ func (l *Link) Transfer(p *sim.Proc, n int64) error {
 		p.ReportWait("net", l.name, "", 0, tx)
 		n -= chunk
 	}
-	p.Sleep(l.latency + l.extraLatency)
-	p.ReportWait("net", l.name, "", 0, l.latency+l.extraLatency)
+	// Same capture-before-sleep rule as above: the propagation delay
+	// reported must be the delay actually slept, not one re-read after
+	// a fault window toggled extraLatency.
+	d := l.latency + l.extraLatency
+	p.Sleep(d)
+	p.ReportWait("net", l.name, "", 0, d)
 	if l.dropEvery > 0 {
 		l.dropCount++
 		if l.dropCount%l.dropEvery == 0 {

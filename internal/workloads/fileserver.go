@@ -115,7 +115,7 @@ func (w *Fileserver) Run(g *Group, clock Clock) {
 func (w *Fileserver) worker(p *sim.Proc, tid int, clock Clock) {
 	th := w.NewThread()
 	ctx := ctxFor(p, th)
-	rng := rand.New(rand.NewSource(w.Seed + int64(tid)*7919))
+	rng := rand.New(rand.NewSource(StreamSeed(w.Seed, "fileserver", tid)))
 	for !clock.Done() {
 		start := clock.Eng.Now()
 		var moved int64

@@ -51,7 +51,7 @@ func (w *KVPut) Run(g *Group, clock Clock) {
 		g.Go("kvput", func(p *sim.Proc) {
 			th := w.NewThread()
 			ctx := ctxFor(p, th)
-			rng := rand.New(rand.NewSource(w.Seed + int64(t)*6151))
+			rng := rand.New(rand.NewSource(StreamSeed(w.Seed, "kvput", t)))
 			for written := int64(0); written < per; written += w.ValueSize {
 				start := clock.Eng.Now()
 				if err := w.DB.Put(ctx, rng.Uint64(), w.ValueSize); err != nil {
@@ -125,7 +125,7 @@ func (w *KVGet) Run(g *Group, clock Clock) {
 		g.Go("kvget", func(p *sim.Proc) {
 			th := w.NewThread()
 			ctx := ctxFor(p, th)
-			rng := rand.New(rand.NewSource(w.Seed + int64(t)*12289))
+			rng := rand.New(rand.NewSource(StreamSeed(w.Seed, "kvget", t)))
 			for i := int64(0); i < per; i++ {
 				key := w.Keys[rng.Intn(len(w.Keys))]
 				start := clock.Eng.Now()

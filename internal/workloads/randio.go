@@ -97,7 +97,7 @@ func (w *RandomIO) Run(g *Group, clock Clock) {
 func (w *RandomIO) worker(p *sim.Proc, tid int, clock Clock) {
 	th := w.NewThread()
 	ctx := ctxFor(p, th)
-	rng := rand.New(rand.NewSource(w.Seed + int64(tid)*31337))
+	rng := rand.New(rand.NewSource(StreamSeed(w.Seed, "randio", tid)))
 	// Each stressor works its own file (stress-ng style), so several
 	// kernel flushers end up servicing the noisy neighbour's dirty
 	// pages on the slow local disks.

@@ -81,7 +81,7 @@ func (w *Webserver) Run(g *Group, clock Clock) {
 func (w *Webserver) worker(p *sim.Proc, tid int, clock Clock) {
 	th := w.NewThread()
 	ctx := ctxFor(p, th)
-	rng := rand.New(rand.NewSource(w.Seed + int64(tid)*104729))
+	rng := rand.New(rand.NewSource(StreamSeed(w.Seed, "webserver", tid)))
 	for !clock.Done() {
 		start := clock.Eng.Now()
 		var moved int64
