@@ -42,26 +42,42 @@ import (
 )
 
 var experimentsByName = map[string]func(experiments.Scale){
-	"fig1":       runFig1,
-	"fig6a":      runFig6a,
-	"fig6b":      runFig6b,
-	"fig6c":      runFig6c,
-	"fig7a":      func(s experiments.Scale) { runKVScaleout(experiments.PhasePut, s) },
-	"fig7b":      func(s experiments.Scale) { runKVScaleout(experiments.PhaseGet, s) },
-	"fig7c":      func(s experiments.Scale) { runKVScaleup(experiments.PhasePut, s) },
-	"fig7d":      func(s experiments.Scale) { runKVScaleup(experiments.PhaseGet, s) },
-	"fig8":       runFig8,
-	"fig9w":      func(s experiments.Scale) { runSeqIO(true, s) },
-	"fig9r":      func(s experiments.Scale) { runSeqIO(false, s) },
-	"fig10":      runFig10,
-	"fig11a":     func(s experiments.Scale) { runFileIO(true, s) },
-	"fig11b":     func(s experiments.Scale) { runFileIO(false, s) },
-	"table1":     runTable1,
-	"table2":     runTable2,
-	"ablations":  runAblations,
-	"faultsweep": runFaultSweep,
-	"blamesweep": runBlameSweep,
-	"fuzzsweep":  runFuzzSweep,
+	"fig1":          runFig1,
+	"fig6a":         runFig6a,
+	"fig6b":         runFig6b,
+	"fig6c":         runFig6c,
+	"fig7a":         func(s experiments.Scale) { runKVScaleout(experiments.PhasePut, s) },
+	"fig7b":         func(s experiments.Scale) { runKVScaleout(experiments.PhaseGet, s) },
+	"fig7c":         func(s experiments.Scale) { runKVScaleup(experiments.PhasePut, s) },
+	"fig7d":         func(s experiments.Scale) { runKVScaleup(experiments.PhaseGet, s) },
+	"fig8":          runFig8,
+	"fig9w":         func(s experiments.Scale) { runSeqIO(true, s) },
+	"fig9r":         func(s experiments.Scale) { runSeqIO(false, s) },
+	"fig10":         runFig10,
+	"fig11a":        func(s experiments.Scale) { runFileIO(true, s) },
+	"fig11b":        func(s experiments.Scale) { runFileIO(false, s) },
+	"table1":        runTable1,
+	"table2":        runTable2,
+	"ablations":     runAblations,
+	"faultsweep":    runFaultSweep,
+	"blamesweep":    runBlameSweep,
+	"fuzzsweep":     runFuzzSweep,
+	"overloadsweep": runOverloadSweep,
+}
+
+// invariantFailures counts invariant violations observed by experiment
+// runs (overloadsweep admission accounting, faultsweep data loss).
+// Outside -fuzz mode they turn the exit status nonzero so CI catches a
+// run whose rows printed fine but broke a correctness property.
+var invariantFailures int
+
+// noteViolations reports invariant violations and accumulates them
+// into the process exit status.
+func noteViolations(vs []string) {
+	for _, v := range vs {
+		fmt.Fprintln(os.Stderr, "INVARIANT VIOLATION: "+v)
+	}
+	invariantFailures += len(vs)
 }
 
 // obsRuns collects one recorder per testbed built while -trace or
@@ -107,7 +123,16 @@ func main() {
 	fuzzSeed := flag.Int64("seed", 1, "scenario generator seed for -fuzz")
 	fuzzDir := flag.String("fuzzdir", "fuzz-repros", "directory for shrunk reproducer specs of failing fuzz scenarios ('' disables)")
 	fuzzSpec := flag.String("fuzzspec", "", "replay one fuzz reproducer spec file and check its invariants")
+	overload := flag.Bool("overload", false, "shorthand for -exp overloadsweep")
 	flag.Parse()
+
+	if *overload {
+		if *exp != "" && *exp != "overloadsweep" {
+			fmt.Fprintln(os.Stderr, "-overload conflicts with -exp "+*exp)
+			os.Exit(2)
+		}
+		*exp = "overloadsweep"
+	}
 
 	if *fuzzSpec != "" {
 		f, err := os.Open(*fuzzSpec)
@@ -194,6 +219,7 @@ func main() {
 		}
 		exportObs(*tracePath, *metricsPath)
 		exportBlame(*blamePath)
+		exitOnViolations()
 		return
 	}
 	if _, ok := experimentsByName[*exp]; !ok {
@@ -203,6 +229,16 @@ func main() {
 	runOne(*exp, scale)
 	exportObs(*tracePath, *metricsPath)
 	exportBlame(*blamePath)
+	exitOnViolations()
+}
+
+// exitOnViolations terminates with a nonzero status if any experiment
+// reported an invariant violation.
+func exitOnViolations() {
+	if invariantFailures > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violation(s)\n", invariantFailures)
+		os.Exit(1)
+	}
 }
 
 // exportBlame writes the blame reports of all runs — the blamesweep's
@@ -433,7 +469,17 @@ func runFuzzSweep(scale experiments.Scale) {
 func runFaultSweep(scale experiments.Scale) {
 	fmt.Println("Fault sweep: recovery and isolation under deterministic fault schedules")
 	for _, c := range experiments.FaultSweepCases(scale) {
-		fmt.Println("  " + experiments.RunFaultSweep(c, scale).String())
+		row := experiments.RunFaultSweep(c, scale)
+		fmt.Println("  " + row.String())
+		noteViolations(experiments.FaultRowViolations(row))
+	}
+}
+
+func runOverloadSweep(scale experiments.Scale) {
+	fmt.Println("Overload sweep: victim tail latency and load shedding under open-loop overload")
+	for _, row := range experiments.RunOverloadSweep(scale) {
+		fmt.Println("  " + row.String())
+		noteViolations(experiments.OverloadRowViolations(row))
 	}
 }
 

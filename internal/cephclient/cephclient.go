@@ -53,6 +53,17 @@ type Config struct {
 	// Obs, when non-nil, records flusher writeback spans and
 	// per-tenant client_lock wait attribution.
 	Obs *obs.Recorder
+	// Breaker, when non-nil, enables the per-backend circuit breaker:
+	// reads fail fast while it is open, writeback holds off until the
+	// next probe time. Nil (the default) keeps the plain retry loop.
+	Breaker *BreakerConfig
+	// RetrySeed seeds the client's deterministic jitter stream (retry
+	// backoff and breaker open intervals). Zero picks a fixed default,
+	// so identical configurations replay identically.
+	RetrySeed uint64
+	// RetryObserver, when non-nil, sees every retry backoff delay as it
+	// is slept — the hook the timing-determinism regression test uses.
+	RetryObserver func(time.Duration)
 }
 
 // Client is a user-level Ceph client. It implements vfsapi.FileSystem.
@@ -80,13 +91,17 @@ type Client struct {
 	// CacheStats counts data-path cache behaviour.
 	stats CacheStats
 	// faults counts retry/failover activity against a faulted backend.
-	faults    metrics.FaultCounters
-	throttleQ *sim.WaitQueue
-	flushQ    *sim.WaitQueue
-	fetchQ    *sim.WaitQueue // readers waiting on in-flight fetches
-	stopped   bool
-	crashed   bool
-	threads   []*cpu.Thread // the client's own threads, for repinning
+	faults metrics.FaultCounters
+	// jitterState is the SplitMix64 stream behind retry and breaker
+	// jitter; brk is nil unless Config.Breaker enables the breaker.
+	jitterState uint64
+	brk         *breaker
+	throttleQ   *sim.WaitQueue
+	flushQ      *sim.WaitQueue
+	fetchQ      *sim.WaitQueue // readers waiting on in-flight fetches
+	stopped     bool
+	crashed     bool
+	threads     []*cpu.Thread // the client's own threads, for repinning
 }
 
 type attrEntry struct {
@@ -142,6 +157,33 @@ func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params, clus *cluster.Clu
 		throttleQ:  sim.NewWaitQueue(eng, cfg.Name+".throttle"),
 		flushQ:     sim.NewWaitQueue(eng, cfg.Name+".flush"),
 		fetchQ:     sim.NewWaitQueue(eng, cfg.Name+".fetch"),
+	}
+	c.jitterState = cfg.RetrySeed
+	if c.jitterState == 0 {
+		c.jitterState = 0x6a09e667f3bcc909 // fixed default: replayable without configuration
+	}
+	if bc := cfg.Breaker; bc != nil {
+		if bc.FailureThreshold <= 0 {
+			if bc.FailureThreshold = params.BreakerFailureThreshold; bc.FailureThreshold <= 0 {
+				bc.FailureThreshold = 5
+			}
+		}
+		if bc.OpenBase <= 0 {
+			if bc.OpenBase = params.BreakerOpenBase; bc.OpenBase <= 0 {
+				bc.OpenBase = 5 * time.Millisecond
+			}
+		}
+		if bc.OpenCap < bc.OpenBase {
+			if bc.OpenCap = params.BreakerOpenCap; bc.OpenCap < bc.OpenBase {
+				bc.OpenCap = bc.OpenBase * 32
+			}
+		}
+		if bc.RecoveryTarget <= 0 {
+			if bc.RecoveryTarget = params.BreakerRecoveryTarget; bc.RecoveryTarget <= 0 {
+				bc.RecoveryTarget = 4
+			}
+		}
+		c.brk = newBreaker(*bc, &c.jitterState)
 	}
 	for i := 0; i < cfg.Flushers; i++ {
 		eng.Go(cfg.Name+".flusher", func(p *sim.Proc) { c.flusherLoop(p) })
@@ -238,6 +280,24 @@ func (c *Client) Stats() CacheStats { return c.stats }
 // counters.
 func (c *Client) FaultStats() metrics.FaultCounters { return c.faults }
 
+// BreakerStats returns the circuit-breaker counters (zero when the
+// breaker is disabled).
+func (c *Client) BreakerStats() BreakerStats {
+	if c.brk == nil {
+		return BreakerStats{}
+	}
+	return c.brk.stats
+}
+
+// BreakerState returns the current breaker state (closed when the
+// breaker is disabled).
+func (c *Client) BreakerState() BreakerState {
+	if c.brk == nil {
+		return BreakerClosed
+	}
+	return c.brk.state
+}
+
 // retryable reports whether err is a transient backend fault worth
 // retrying (as opposed to a semantic error like ErrNotExist).
 func retryable(err error) bool {
@@ -246,11 +306,21 @@ func retryable(err error) bool {
 		errors.Is(err, netsim.ErrDropped)
 }
 
-// backoff sleeps the deterministic capped-exponential retry delay,
-// charging it as I/O wait, and doubles d up to the cap.
+// backoff sleeps the seeded capped-exponential retry delay, charging
+// it as I/O wait, and doubles d up to the cap. The slept delay is
+// jittered to [d/2, d] from the client's deterministic jitter stream,
+// so concurrent retriers desynchronize while two runs with the same
+// seed produce byte-identical delay sequences.
 func (c *Client) backoff(ctx vfsapi.Ctx, d *time.Duration) {
+	delay := *d
+	if half := delay / 2; half > 0 {
+		delay = half + time.Duration(splitmix(&c.jitterState)%uint64(half+1))
+	}
+	if c.cfg.RetryObserver != nil {
+		c.cfg.RetryObserver(delay)
+	}
 	start := c.eng.Now()
-	ctx.P.Sleep(*d)
+	ctx.P.Sleep(delay)
 	wait := c.eng.Now() - start
 	ctx.T.Account().AddIOWait(wait)
 	c.faults.TimeDegraded += wait
@@ -267,6 +337,11 @@ func (c *Client) backoff(ctx vfsapi.Ctx, d *time.Duration) {
 // exponential backoff until the per-op deadline or the retry budget
 // runs out, at which point the op fails with vfsapi.ErrIO.
 func (c *Client) readBackend(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
+	if c.brk != nil && !c.brk.allow(c.eng.Now()) {
+		// Fail fast: the breaker learned the backend is down, so the op
+		// sheds immediately instead of burning its full retry budget.
+		return vfsapi.ErrIO
+	}
 	deadline := c.eng.Now() + c.params.ClientOpDeadline
 	backoff := c.params.ClientRetryBase
 	repl := c.clus.Replication()
@@ -283,10 +358,16 @@ func (c *Client) readBackend(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 			if member != 0 {
 				c.faults.Failovers++
 			}
+			if c.brk != nil {
+				c.brk.onSuccess()
+			}
 			return nil
 		}
 		if !retryable(err) || c.stopped || c.crashed {
 			return err
+		}
+		if c.brk != nil {
+			c.brk.onFailure(c.eng.Now())
 		}
 		if try+1 >= c.params.ClientMaxRetries || c.eng.Now()+backoff > deadline {
 			c.faults.DeadlineMisses++
@@ -310,16 +391,34 @@ func (c *Client) writePersist(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 	repl := c.clus.Replication()
 	missed := false
 	for try := 0; ; try++ {
+		// An open breaker never sheds writeback (that would drop
+		// acknowledged data); it holds the write off until the open
+		// interval elapses, then lets it probe with everyone else.
+		if c.brk != nil {
+			if hold := c.brk.holdoff(c.eng.Now()); hold > 0 && !c.stopped && !c.crashed {
+				start := c.eng.Now()
+				ctx.P.Sleep(hold)
+				wait := c.eng.Now() - start
+				ctx.T.Account().AddIOWait(wait)
+				c.faults.TimeDegraded += wait
+			}
+		}
 		acting := try % repl
 		err := c.clus.WriteReplica(ctx, ino, off, n, acting)
 		if err == nil {
 			if acting != 0 {
 				c.faults.Failovers++
 			}
+			if c.brk != nil {
+				c.brk.onSuccess()
+			}
 			return nil
 		}
 		if !retryable(err) || c.stopped || c.crashed {
 			return err
+		}
+		if c.brk != nil {
+			c.brk.onFailure(c.eng.Now())
 		}
 		c.faults.Retries++
 		if !missed && c.eng.Now() > deadline {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cephclient"
 	"repro/internal/cpu"
 	"repro/internal/kern"
 	"repro/internal/metrics"
@@ -114,6 +115,7 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 	host.SetCounter("osd_bytes_read", int64(osdRead))
 	host.SetCounter("osd_bytes_written", int64(osdWritten))
 	host.SetCounter("osd_ops", int64(osdOps))
+	host.SetCounter("brownout_flips", int64(tb.Kernel.BrownoutFlips()))
 	host.SetCounter("mds_ops", int64(tb.Cluster.MDSOps()))
 	host.SetCounter("mds_queue_delay_ns", int64(tb.Cluster.MDSQueueDelay()))
 	if fab := tb.Cluster.Fabric(); fab != nil && fab.Client != nil {
@@ -134,6 +136,14 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 		t.SetCounter("context_switches", int64(as.ContextSwitches))
 		t.SetCounter("cache_bytes", p.Memory.Current())
 		t.SetCounter("cache_bytes_max", p.Memory.MaxSum())
+		if a := p.Admission; a != nil {
+			as := a.Stats()
+			t.SetCounter("admission_offered", int64(as.Offered))
+			t.SetCounter("admission_admitted", int64(as.Admitted))
+			t.SetCounter("admission_shed", int64(as.Shed))
+			t.SetCounter("admission_max_queued", int64(as.MaxQueued))
+			t.SetCounter("admission_queued_ns", int64(as.QueuedTime))
+		}
 		for _, c := range p.clients {
 			cs := c.Stats()
 			t.AddCounter("cache_read_bytes", cs.ReadBytes)
@@ -141,6 +151,12 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 			t.AddCounter("cache_write_bytes", cs.WriteBytes)
 			t.AddCounter("cache_flushed_bytes", cs.FlushedBytes)
 			t.AddFaults(c.FaultStats())
+			if bs := c.BreakerStats(); bs != (cephclient.BreakerStats{}) {
+				t.AddCounter("breaker_opens", int64(bs.Opens))
+				t.AddCounter("breaker_short_circuits", int64(bs.ShortCircuits))
+				t.AddCounter("breaker_probes", int64(bs.Probes))
+				t.AddCounter("breaker_probe_failures", int64(bs.ProbeFailures))
+			}
 			// Live per-request waits land in "client_lock" via
 			// Span.LockWait; the full mutex aggregate (including
 			// flusher-side holds) is kept under a separate key.

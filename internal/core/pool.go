@@ -26,6 +26,11 @@ type Pool struct {
 	// all of its mounts (client caches and page caches).
 	Memory memacct.Group
 
+	// Admission is the pool's bounded admission controller, installed
+	// at every mount facade when the testbed has an OverloadPolicy
+	// (nil = unprotected).
+	Admission *vfsapi.Admission
+
 	containers []*Container
 	clients    []*cephclient.Client
 	cephFuse   map[*cephclient.Client]*fusefs.Transport
@@ -115,8 +120,10 @@ func (p *Pool) newClient(spec MountSpec) *cephclient.Client {
 		cache = p.Mem / 2 // paper: client cache = 50% of pool memory
 	}
 	meter := memacct.NewMeter(fmt.Sprintf("%s.ulcc%d", p.Name, p.mounts))
+	clientName := fmt.Sprintf("%s.client%d", p.Name, p.mounts)
+	brk, retrySeed := p.tb.breakerFor(p.Name, clientName)
 	c := cephclient.New(p.tb.Eng, p.tb.CPU, p.tb.Params, p.tb.Cluster, cephclient.Config{
-		Name:       fmt.Sprintf("%s.client%d", p.Name, p.mounts),
+		Name:       clientName,
 		CacheLimit: cache,
 		MaxDirty:   cache / 2, // paper: max dirty = 50% of client cache
 		Mask:       p.Mask,
@@ -125,6 +132,8 @@ func (p *Pool) newClient(spec MountSpec) *cephclient.Client {
 		Flushers:   2,
 		Tenant:     p.Name,
 		Obs:        p.tb.Obs,
+		Breaker:    brk,
+		RetrySeed:  retrySeed,
 	})
 	p.clients = append(p.clients, c)
 	p.Memory.Add(meter)
@@ -289,12 +298,13 @@ func (p *Pool) Mount(spec MountSpec) (*MountResult, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown configuration %v", spec.Config)
 	}
-	// The observability facade sits on top of the whole stack: every
-	// operation entering the container's mount opens a request span
-	// tagged with the pool. No-op (returns the inner fs) when tracing
-	// is off.
-	res.Default = vfsapi.Traced(res.Default, p.tb.Obs, p.Name)
-	res.Legacy = vfsapi.Traced(res.Legacy, p.tb.Obs, p.Name)
+	// The admission controller sits directly under the observability
+	// facade: every operation entering the container's mount claims a
+	// slot (or is shed), and the queue wait lands inside the request
+	// span. Both wrappers are no-ops (return the inner fs) when their
+	// feature is off.
+	res.Default = vfsapi.Traced(vfsapi.Admitted(res.Default, p.Admission), p.tb.Obs, p.Name)
+	res.Legacy = vfsapi.Traced(vfsapi.Admitted(res.Legacy, p.Admission), p.tb.Obs, p.Name)
 	return res, nil
 }
 

@@ -38,6 +38,10 @@ type Testbed struct {
 	// it via AttachObserver before creating pools so their mounts are
 	// traced.
 	Obs *obs.Recorder
+	// Overload is the client-side overload protection policy (nil =
+	// unprotected, the historical behaviour). Pools created after it is
+	// set get admission control and circuit breakers.
+	Overload *OverloadPolicy
 
 	pools   []*Pool
 	stopped bool
@@ -54,6 +58,9 @@ type TestbedConfig struct {
 	Params *model.Params
 	// LocalMemBytes bounds the page cache of the local ext4 filesystem.
 	LocalMemBytes int64
+	// Overload enables client-side overload protection for every pool
+	// (nil keeps the unprotected behaviour).
+	Overload *OverloadPolicy
 }
 
 // NewTestbed builds the environment of Fig 5.
@@ -91,6 +98,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		LocalArray: arr,
 		LocalFS:    localMount,
 		LocalStore: ls,
+		Overload:   cfg.Overload,
 	}
 }
 
@@ -98,11 +106,12 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 // budget, with its own resource accounting.
 func (tb *Testbed) NewPool(name string, mask cpu.Mask, memBytes int64) *Pool {
 	p := &Pool{
-		tb:   tb,
-		Name: name,
-		Mask: mask,
-		Mem:  memBytes,
-		Acct: cpu.NewAccount(name),
+		tb:        tb,
+		Name:      name,
+		Mask:      mask,
+		Mem:       memBytes,
+		Acct:      cpu.NewAccount(name),
+		Admission: tb.admissionFor(name),
 	}
 	tb.pools = append(tb.pools, p)
 	return p

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// OverloadCase is one point of the overload-sweep family: a client
+// configuration, with or without the overload-protection policy,
+// driven by an open-loop aggressor at a multiple of the base offered
+// load while a closed-loop victim measures tail latency.
+type OverloadCase struct {
+	Label      string
+	Config     core.Configuration
+	Protected  bool // admission control + breaker + brownout enabled
+	Multiplier int  // offered load = Multiplier x base rate; 0 = unloaded
+}
+
+// OverloadRow is the outcome of one overload case.
+type OverloadRow struct {
+	Label      string
+	Config     core.Configuration
+	Protected  bool
+	Multiplier int
+
+	// OfferedRate is the aggressor's configured arrival rate (req/s).
+	OfferedRate float64
+	// Open-loop aggressor accounting over the whole run.
+	Offered   uint64
+	Completed uint64
+	Shed      uint64
+	Failed    uint64
+	// ShedRate is Shed/Offered.
+	ShedRate float64
+
+	// Victim tail latency inside the measurement window, and its ratio
+	// to the same configuration's unloaded (Multiplier 0) value.
+	VictimP99      time.Duration
+	VictimP99Ratio float64
+	VictimMBps     float64
+
+	// Admission is the aggressor pool's admission snapshot after the
+	// run drained (zero when unprotected); QueueCap its configured
+	// bound — the bounded-queue invariant is Admission.MaxQueued <=
+	// QueueCap.
+	Admission vfsapi.AdmissionStats
+	QueueCap  int
+
+	// BreakerOpens and BrownoutFlips count degraded-mode activity.
+	BreakerOpens  uint64
+	BrownoutFlips uint64
+}
+
+// overloadBaseRate is the base (1x) offered load in requests per
+// second. It is chosen so 1x approaches the backend's service capacity
+// for cold 256 KiB reads and 4x is firmly past it.
+const overloadBaseRate = 1500.0
+
+// overloadOpSize is the aggressor's per-request read size.
+const overloadOpSize = 256 << 10
+
+// OverloadCases returns the sweep: the protected Danaus client versus
+// the unprotected kernel client at 0x (unloaded baseline), 1x, 2x and
+// 4x offered load.
+func OverloadCases() []OverloadCase {
+	var cases []OverloadCase
+	for _, mult := range []int{0, 1, 2, 4} {
+		cases = append(cases, OverloadCase{
+			Label: "D+adm", Config: core.ConfigD, Protected: true, Multiplier: mult,
+		})
+	}
+	for _, mult := range []int{0, 1, 2, 4} {
+		cases = append(cases, OverloadCase{
+			Label: "K", Config: core.ConfigK, Protected: false, Multiplier: mult,
+		})
+	}
+	return cases
+}
+
+// RunOverloadSweep executes every case and fills VictimP99Ratio
+// against each configuration's own unloaded baseline.
+func RunOverloadSweep(scale Scale) []OverloadRow {
+	cases := OverloadCases()
+	rows := make([]OverloadRow, 0, len(cases))
+	baseline := map[string]time.Duration{}
+	for _, c := range cases {
+		row := RunOverloadCase(c, scale)
+		if c.Multiplier == 0 {
+			baseline[c.Label] = row.VictimP99
+		}
+		if base := baseline[c.Label]; base > 0 {
+			row.VictimP99Ratio = float64(row.VictimP99) / float64(base)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunOverloadCase runs one overload point: victim pool 0 issues
+// closed-loop cold reads (the tail-latency probe), aggressor pool 1 is
+// driven by the open-loop Poisson generator at the case's offered
+// load. Both pools mount the case's configuration; the protection
+// policy applies testbed-wide when the case is protected.
+func RunOverloadCase(c OverloadCase, scale Scale) OverloadRow {
+	var pol *core.OverloadPolicy
+	if c.Protected {
+		pol = &core.OverloadPolicy{RetrySeed: 1}
+	}
+	tb := core.NewTestbed(core.TestbedConfig{Cores: 4, Params: scale.Params(), Overload: pol})
+	if Observer != nil {
+		Observer(tb)
+	}
+	r := &rig{tb: tb}
+
+	row := OverloadRow{
+		Label: c.Label, Config: c.Config, Protected: c.Protected,
+		Multiplier:  c.Multiplier,
+		OfferedRate: overloadBaseRate * float64(c.Multiplier),
+	}
+
+	_, victim, err := r.flsContainer(0, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+	aggPool, agg, err := r.flsContainer(1, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+
+	// Both datasets overflow their pool's cache so reads keep hitting
+	// the shared backend — the resource the aggressor overloads.
+	coldSize := scale.PoolMem() + scale.PoolMem()/2
+	const readChunk = 128 << 10
+
+	r.runMaster(func(p *sim.Proc) {
+		prepCold := func(cont *core.Container) func(pp *sim.Proc) {
+			return func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: cont.NewThread()}
+				h, err := cont.Mount.Default.Open(ctx, "/cold", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				for written := int64(0); written < coldSize; written += 1 << 20 {
+					if _, err := h.Append(ctx, 1<<20); err != nil {
+						panic(err)
+					}
+				}
+				if err := h.Fsync(ctx); err != nil {
+					panic(err)
+				}
+				if err := h.Close(ctx); err != nil {
+					panic(err)
+				}
+			}
+		}
+		prepare(p, r.tb.Eng, prepCold(victim), prepCold(agg))
+
+		clock := clockFor(r.tb.Eng, scale)
+		vicStats := workloads.NewStats()
+		aggStats := workloads.NewStats()
+
+		g := workloads.NewGroup(r.tb.Eng)
+		g.Go("victim-reader", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer h.Close(ctx)
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, readChunk)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						vicStats.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+				} else if clock.Measuring() {
+					vicStats.Record(n, now-start)
+				}
+				off += readChunk
+				if off >= coldSize {
+					off = 0
+				}
+			}
+		})
+
+		var ol *workloads.OpenLoop
+		if c.Multiplier > 0 {
+			ol = &workloads.OpenLoop{
+				FS:        agg.Mount.Default,
+				Path:      "/cold",
+				FileSize:  coldSize,
+				OpSize:    overloadOpSize,
+				Rate:      row.OfferedRate,
+				Seed:      42,
+				NewThread: agg.NewThread,
+				Stats:     aggStats,
+			}
+			ol.Run(g, clock)
+		}
+		g.Wait(p)
+
+		window := clock.Window()
+		row.VictimP99 = vicStats.Latency.Quantile(0.99)
+		row.VictimMBps = vicStats.ThroughputMBps(window)
+		if ol != nil {
+			row.Offered = ol.Offered
+			row.Completed = ol.Completed
+			row.Shed = ol.Shed
+			row.Failed = ol.Failed
+			if ol.Offered > 0 {
+				row.ShedRate = float64(ol.Shed) / float64(ol.Offered)
+			}
+		}
+		if a := aggPool.Admission; a != nil {
+			row.Admission = a.Stats()
+			row.QueueCap = a.QueueCap()
+		}
+		for _, cl := range []*core.Container{victim, agg} {
+			if cl.Mount.Client != nil {
+				row.BreakerOpens += cl.Mount.Client.BreakerStats().Opens
+			}
+		}
+		row.BrownoutFlips = r.tb.Kernel.BrownoutFlips()
+	})
+	return row
+}
+
+// OverloadRowViolations checks the overload invariants on one row:
+// the admission queue never exceeded its configured cap, and every
+// offered operation is accounted admitted, shed, or still in flight.
+// It returns human-readable violation descriptions (empty = clean).
+func OverloadRowViolations(r OverloadRow) []string {
+	var v []string
+	if r.QueueCap > 0 && r.Admission.MaxQueued > r.QueueCap {
+		v = append(v, fmt.Sprintf("overloadsweep %s %dx: bounded-queue violated: max queued %d > cap %d",
+			r.Label, r.Multiplier, r.Admission.MaxQueued, r.QueueCap))
+	}
+	a := r.Admission
+	if a.Offered != a.Admitted+a.Shed+uint64(a.InFlight) {
+		v = append(v, fmt.Sprintf("overloadsweep %s %dx: admission accounting violated: offered %d != admitted %d + shed %d + in-flight %d",
+			r.Label, r.Multiplier, a.Offered, a.Admitted, a.Shed, a.InFlight))
+	}
+	return v
+}
+
+// FaultRowViolations checks the standing faultsweep invariant on one
+// row: no acknowledged data may be lost while the cluster holds a
+// surviving replica.
+func FaultRowViolations(r FaultSweepRow) []string {
+	if r.Replication >= 2 && r.DataLossBytes > 0 {
+		return []string{fmt.Sprintf("faultsweep %s %s r=%d: zero-data-loss violated: %d acked bytes unrecoverable",
+			r.Config, r.Label, r.Replication, r.DataLossBytes)}
+	}
+	return nil
+}
+
+// String renders a row for the harness.
+func (r OverloadRow) String() string {
+	prot := "off"
+	if r.Protected {
+		prot = "on"
+	}
+	return fmt.Sprintf("%-5s %-4s prot=%-3s load=%dx (%5.0f req/s) victim p99 %-12v x%-5.2f %6.1f MB/s  offered=%-6d done=%-6d shed=%-6d (%4.1f%%) maxq=%-3d opens=%-3d brownouts=%d",
+		r.Label, r.Config, prot, r.Multiplier, r.OfferedRate,
+		r.VictimP99, r.VictimP99Ratio, r.VictimMBps,
+		r.Offered, r.Completed, r.Shed, 100*r.ShedRate,
+		r.Admission.MaxQueued, r.BreakerOpens, r.BrownoutFlips)
+}

@@ -297,7 +297,7 @@ func parseWindow(entry string) (Window, error) {
 			w.OSD = ClientNIC
 		} else {
 			osd, err := strconv.Atoi(fields[arg])
-			if err != nil {
+			if err != nil || osd < 0 {
 				return bad("bad osd index")
 			}
 			w.OSD = osd

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The parser must reject malformed schedules with a diagnostic naming
+// the offending entry — never panic, never silently drop an entry.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"flood:1:1s-2s", "unknown fault kind"},
+		{"osd-crash", "want 3 fields, got 1"}, // bare kind, no fields
+		{"osd-crash:1:1s-2s:extra", "want 3 fields, got 4"},
+		{"osd-degrade:1:1s-2s", "want 4 fields, got 3"},
+		{"net-spike:client:1ms", "want 4 fields, got 3"},
+		{"mds-stall", "want 2 fields, got 1"},
+		{"osd-crash:-2:1s-2s", "bad osd index"},
+		{"osd-degrade:1:2x:1s-2s:x", "want 4 fields, got 5"},
+		{"osd-degrade:1:zzz:1s-2s", "bad degrade factor"},
+		{"net-spike:1:never:1s-2s", "bad latency"},
+		{"net-drop:1:0x7:1s-2s", "bad drop period"},
+		{"osd-crash:1:1s2s", "bad window, want start-end"},
+		{"osd-crash:1:soon-2s", "bad window start"},
+		{"osd-crash:1:1s-later", "bad window end"},
+		{"osd-crash:1:1s-2s;flood:0:1s-2s", "unknown fault kind"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a bad schedule", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.spec, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "bad entry") {
+			t.Errorf("Parse(%q) error %q does not name the offending entry", c.spec, err)
+		}
+	}
+}
+
+// Empty schedules and surrounding whitespace are fine; a good entry
+// after a bad one must not mask the error.
+func TestParseEdges(t *testing.T) {
+	for _, s := range []string{"", "  ", ";", " ; "} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+		if len(p.Windows) != 0 {
+			t.Errorf("Parse(%q) produced %d windows", s, len(p.Windows))
+		}
+	}
+	if _, err := Parse("flood:1:1s-2s;osd-crash:1:1s-2s"); err == nil {
+		t.Error("bad first entry masked by a good second one")
+	}
+}
+
+// Out-of-order window times parse (the syntax is valid) but must be
+// rejected by Validate before installation — the injector would
+// otherwise arm a window that never disarms.
+func TestValidateRejectsOutOfOrderWindow(t *testing.T) {
+	p, err := Parse("osd-crash:1:2s-1s")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := p.Validate(6); err == nil {
+		t.Fatal("Validate accepted a window ending before it starts")
+	}
+	// Same shape straight through the struct, for non-parsed plans.
+	bad := Plan{Windows: []Window{{Kind: MDSStall, Start: 2 * time.Second, End: time.Second}}}
+	if err := bad.Validate(6); err == nil {
+		t.Fatal("Validate accepted End < Start")
+	}
+}

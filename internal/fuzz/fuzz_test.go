@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 )
 
@@ -41,6 +42,49 @@ func TestGeneratedScenariosAreValid(t *testing.T) {
 				t.Fatalf("scenario %d: window end %v past duration %v", i, w.End, sc.Duration)
 			}
 		}
+		if (sc.OfferedLoad > 0) != (sc.AdmitQueue > 0) {
+			t.Fatalf("scenario %d: overload dimension half-drawn: ol=%d q=%d", i, sc.OfferedLoad, sc.AdmitQueue)
+		}
+		if sc.OfferedLoad < 0 || sc.OfferedLoad > 1600 || sc.AdmitQueue < 0 || sc.AdmitQueue > 16 {
+			t.Fatalf("scenario %d: overload draw out of range: ol=%d q=%d", i, sc.OfferedLoad, sc.AdmitQueue)
+		}
+	}
+}
+
+// TestGenerateDrawsOverloadDimension confirms the overload dimension
+// actually appears in a sweep-sized sample (a dead dimension would
+// silently stop exercising the admission invariants).
+func TestGenerateDrawsOverloadDimension(t *testing.T) {
+	n := 0
+	for i := 0; i < 100; i++ {
+		if Generate(1, i).OfferedLoad > 0 {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d/100 scenarios drew the overload dimension", n)
+	}
+}
+
+// TestOverloadScenarioRuns pushes one overloaded, admission-protected
+// scenario through the full pipeline and requires the open-loop
+// aggressor to have run and every invariant — including the two
+// admission invariants — to hold.
+func TestOverloadScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Seed: 99, Config: core.ConfigD, Replication: 2, Factor: 0.01, CacheFrac: 2,
+		Warmup: 10 * time.Millisecond, Duration: 60 * time.Millisecond,
+		OfferedLoad: 1600, AdmitQueue: 4,
+	}
+	o := Evaluate(sc)
+	if vs := CheckAll(o); len(vs) > 0 {
+		t.Fatalf("overloaded scenario violates invariants: %v", vs)
+	}
+	if o.Full.OLOffered == 0 {
+		t.Fatalf("aggressor offered nothing: %s", o.Full.Summary)
+	}
+	if len(o.Full.Admission) == 0 {
+		t.Fatalf("no admission snapshot despite admitq=4")
 	}
 }
 

@@ -43,7 +43,46 @@ func Checkers() []Checker {
 		{Name: "replay-determinism", Check: checkReplay},
 		{Name: "isolation-bound", Check: checkIsolation},
 		{Name: "fault-accounting", Check: checkFaultAccounting},
+		{Name: "bounded-queue", Check: checkBoundedQueue},
+		{Name: "admission-accounting", Check: checkAdmissionAccounting},
 	}
+}
+
+// checkBoundedQueue: no pool's admission queue may ever exceed its
+// configured cap — the backpressure bound that load shedding exists to
+// enforce.
+func checkBoundedQueue(o *Outcome) []string {
+	var out []string
+	for _, lr := range o.runs() {
+		for _, a := range lr.res.Admission {
+			if a.Stats.MaxQueued > a.QueueCap {
+				out = append(out, fmt.Sprintf("%s: pool %s max queued %d exceeds cap %d",
+					lr.label, a.Tenant, a.Stats.MaxQueued, a.QueueCap))
+			}
+		}
+	}
+	return out
+}
+
+// checkAdmissionAccounting: every operation offered to a pool's
+// admission controller must be accounted exactly once — admitted, shed,
+// or still in flight at drain (which itself must be zero once the
+// engine has drained every workload).
+func checkAdmissionAccounting(o *Outcome) []string {
+	var out []string
+	for _, lr := range o.runs() {
+		for _, a := range lr.res.Admission {
+			if a.Stats.Offered != a.Stats.Admitted+a.Stats.Shed+uint64(a.Stats.InFlight) {
+				out = append(out, fmt.Sprintf("%s: pool %s offered %d != admitted %d + shed %d + in-flight %d",
+					lr.label, a.Tenant, a.Stats.Offered, a.Stats.Admitted, a.Stats.Shed, a.Stats.InFlight))
+			}
+			if a.Stats.InFlight != 0 || a.Stats.Queued != 0 {
+				out = append(out, fmt.Sprintf("%s: pool %s drained with %d in flight, %d queued",
+					lr.label, a.Tenant, a.Stats.InFlight, a.Stats.Queued))
+			}
+		}
+	}
+	return out
 }
 
 // CheckAll runs the full registry over an outcome.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blame"
 	"repro/internal/metrics"
+	"repro/internal/vfsapi"
 )
 
 // cleanOutcome builds a synthetic outcome every checker accepts: the
@@ -25,6 +26,10 @@ func cleanOutcome() *Outcome {
 			WriteOps: 100, ReadOps: 100,
 			WriteMean: time.Millisecond, ReadMean: time.Millisecond,
 			AckedBytes: 1 << 20, StoredBytes: 1 << 20,
+			Admission: []TenantAdmission{{
+				Tenant: "victim", QueueCap: 8,
+				Stats: vfsapi.AdmissionStats{Offered: 120, Admitted: 110, Shed: 10, MaxQueued: 8},
+			}},
 			Report:       blame.Report{Requests: 1, PerRequest: []blame.Request{req}},
 			ArtifactHash: "feedfacefeedfacefeedface",
 			Summary:      "w=100 r=100",
@@ -147,17 +152,41 @@ func TestCheckerFiresOnRegistryMismatch(t *testing.T) {
 	only(t, o, "fault-accounting")
 }
 
+func TestCheckerFiresOnQueueOverrun(t *testing.T) {
+	o := cleanOutcome()
+	o.Full.Admission[0].Stats.MaxQueued = o.Full.Admission[0].QueueCap + 1
+	only(t, o, "bounded-queue")
+}
+
+func TestCheckerFiresOnAdmissionImbalance(t *testing.T) {
+	o := cleanOutcome()
+	// One shed operation went missing from the ledger.
+	o.Replay.Admission[0].Stats.Shed--
+	only(t, o, "admission-accounting")
+}
+
+func TestCheckerFiresOnResidualInFlight(t *testing.T) {
+	o := cleanOutcome()
+	// A drained engine with an operation still holding a slot means a
+	// Release was lost; the identity breaks too, so both details are
+	// admission-accounting.
+	o.Solo.Admission[0].Stats.InFlight = 1
+	only(t, o, "admission-accounting")
+}
+
 // Every checker in the registry must be exercised by a mutation above;
 // this guards against registering a new invariant without a dead-oracle
 // test.
 func TestEveryCheckerHasAMutation(t *testing.T) {
 	covered := map[string]bool{
-		"zero-data-loss":     true,
-		"blame-sum":          true,
-		"span-leak":          true,
-		"replay-determinism": true,
-		"isolation-bound":    true,
-		"fault-accounting":   true,
+		"zero-data-loss":       true,
+		"blame-sum":            true,
+		"span-leak":            true,
+		"replay-determinism":   true,
+		"isolation-bound":      true,
+		"fault-accounting":     true,
+		"bounded-queue":        true,
+		"admission-accounting": true,
 	}
 	for _, c := range Checkers() {
 		if !covered[c.Name] {

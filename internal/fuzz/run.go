@@ -37,6 +37,16 @@ type Result struct {
 	AckedBytes  int64
 	StoredBytes int64
 
+	// Open-loop aggressor accounting (zero unless the scenario has an
+	// OfferedLoad).
+	OLOffered   uint64
+	OLCompleted uint64
+	OLShed      uint64
+	OLFailed    uint64
+	// Admission snapshots every pool's admission counters at drain, in
+	// pool creation order (empty unless the scenario has an AdmitQueue).
+	Admission []TenantAdmission
+
 	// Faults sums the victim pool's client fault counters, counting
 	// each shared client or kernel mount exactly once.
 	Faults metrics.FaultCounters
@@ -55,6 +65,14 @@ type Result struct {
 	ArtifactHash string
 	// Summary is a deterministic one-line digest for sweep output.
 	Summary string
+}
+
+// TenantAdmission is one pool's admission snapshot for the bounded-
+// queue and admission-accounting checkers.
+type TenantAdmission struct {
+	Tenant   string
+	QueueCap int
+	Stats    vfsapi.AdmissionStats
 }
 
 // Evaluate runs a scenario through the full pipeline the checkers
@@ -104,7 +122,11 @@ func victimFaultStats(pool *core.Pool) metrics.FaultCounters {
 func RunScenario(sc Scenario, solo bool) *Result {
 	scale := sc.scale()
 	cores := 2 * (1 + len(sc.Tenants))
-	tb := core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params()})
+	var pol *core.OverloadPolicy
+	if sc.AdmitQueue > 0 {
+		pol = &core.OverloadPolicy{QueueCap: sc.AdmitQueue, RetrySeed: uint64(sc.Seed)}
+	}
+	tb := core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params(), Overload: pol})
 	rec := obs.New(obs.Config{Clock: tb.Eng.Now})
 	tb.AttachObserver(rec)
 	tb.Cluster.SetReplication(sc.Replication)
@@ -344,6 +366,16 @@ func RunScenario(sc Scenario, solo bool) *Result {
 				}
 			}
 		})
+		var ol *workloads.OpenLoop
+		if sc.OfferedLoad > 0 {
+			ol = &workloads.OpenLoop{
+				FS: victim.Mount.Default, Path: "/cold", FileSize: coldSize,
+				OpSize: readChunk, Rate: float64(sc.OfferedLoad),
+				Seed:      workloads.StreamSeed(sc.Seed, "openloop", 0),
+				NewThread: victim.NewThread, Stats: workloads.NewStats(),
+			}
+			ol.Run(run, clock)
+		}
 		for i, w := range runners {
 			if w == nil {
 				panic(fmt.Sprintf("fuzz: tenant %d has no runner", i))
@@ -382,8 +414,24 @@ func RunScenario(sc Scenario, solo bool) *Result {
 		res.AckedBytes = acked
 		res.StoredBytes = tb.Cluster.StoredSize(walIno)
 		res.Faults = victimFaultStats(victimPool)
+		if ol != nil {
+			res.OLOffered = ol.Offered
+			res.OLCompleted = ol.Completed
+			res.OLShed = ol.Shed
+			res.OLFailed = ol.Failed
+		}
 	})
 	tb.Eng.Run()
+
+	// Admission counters are final once the engine drains; pool order is
+	// creation order, so the snapshot list is deterministic.
+	for _, pl := range tb.Pools() {
+		if a := pl.Admission; a != nil {
+			res.Admission = append(res.Admission, TenantAdmission{
+				Tenant: pl.Name, QueueCap: a.QueueCap(), Stats: a.Stats(),
+			})
+		}
+	}
 
 	rec.Finalize()
 	res.RegistryFaults = rec.Registry().Tenant("victim").Faults()
@@ -413,11 +461,28 @@ func hashArtifacts(rec *obs.Recorder, rep blame.Report) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// summaryLine renders the deterministic per-run digest.
+// summaryLine renders the deterministic per-run digest. Overload
+// fields are appended only when the dimension is active, keeping
+// historical scenario digests unchanged.
 func (r *Result) summaryLine() string {
-	return fmt.Sprintf("w=%d/%v r=%d/%v err=%d acked=%d stored=%d retries=%d failovers=%d misses=%d reqs=%d leaks=%d hash=%s",
+	s := fmt.Sprintf("w=%d/%v r=%d/%v err=%d acked=%d stored=%d retries=%d failovers=%d misses=%d reqs=%d leaks=%d hash=%s",
 		r.WriteOps, r.WriteMean, r.ReadOps, r.ReadMean, r.Errors,
 		r.AckedBytes, r.StoredBytes,
 		r.Faults.Retries, r.Faults.Failovers, r.Faults.DeadlineMisses,
 		r.Report.Requests, len(r.Leaked), r.ArtifactHash[:12])
+	if r.OLOffered > 0 || len(r.Admission) > 0 {
+		var off, adm, shed uint64
+		maxq := 0
+		for _, a := range r.Admission {
+			off += a.Stats.Offered
+			adm += a.Stats.Admitted
+			shed += a.Stats.Shed
+			if a.Stats.MaxQueued > maxq {
+				maxq = a.Stats.MaxQueued
+			}
+		}
+		s += fmt.Sprintf(" ol=%d/%d/%d/%d adm=%d/%d/%d maxq=%d",
+			r.OLOffered, r.OLCompleted, r.OLShed, r.OLFailed, off, adm, shed, maxq)
+	}
+	return s
 }

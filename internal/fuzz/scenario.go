@@ -56,6 +56,14 @@ type Scenario struct {
 	// Tenants are the co-located workloads (the victim probe always
 	// runs; an empty list is a solo scenario).
 	Tenants []Tenant
+	// OfferedLoad, when positive, drives an open-loop Poisson aggressor
+	// against the victim mount at this many requests per second — the
+	// overload dimension.
+	OfferedLoad int
+	// AdmitQueue, when positive, enables the testbed-wide overload
+	// policy with this admission queue cap (bounded queues, circuit
+	// breakers, brownout).
+	AdmitQueue int
 }
 
 // tenantWorkloads are the generator's workload vocabulary.
@@ -127,6 +135,15 @@ func Generate(baseSeed int64, index int) Scenario {
 		}
 	}
 	sc.Schedule = strings.Join(entries, ";")
+
+	// Overload dimension, drawn last so the earlier draws of a given
+	// (seed, index) pair keep their historical values: an open-loop
+	// aggressor at the victim mount plus the admission policy bounding
+	// its queue.
+	if r.chance(1, 3) {
+		sc.OfferedLoad = pick(r, []int{400, 800, 1600})
+		sc.AdmitQueue = pick(r, []int{4, 8, 16})
+	}
 	return sc
 }
 
@@ -150,9 +167,13 @@ func (sc Scenario) String() string {
 	if sc.SharedMount {
 		shared = " shared"
 	}
-	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d",
+	overload := ""
+	if sc.OfferedLoad > 0 || sc.AdmitQueue > 0 {
+		overload = fmt.Sprintf(" ol=%d/q%d", sc.OfferedLoad, sc.AdmitQueue)
+	}
+	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s",
 		sc.Config, sc.Replication, shared, sc.CacheFrac, sc.Factor,
-		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()))
+		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload)
 }
 
 // configNames maps Table 1 symbols to configurations for spec parsing.
@@ -197,6 +218,12 @@ func WriteSpec(w io.Writer, sc Scenario, header ...string) error {
 	if sc.Schedule != "" {
 		fmt.Fprintf(bw, "schedule=%s\n", sc.Schedule)
 	}
+	if sc.OfferedLoad > 0 {
+		fmt.Fprintf(bw, "offeredload=%d\n", sc.OfferedLoad)
+	}
+	if sc.AdmitQueue > 0 {
+		fmt.Fprintf(bw, "admitq=%d\n", sc.AdmitQueue)
+	}
 	for _, t := range sc.Tenants {
 		fmt.Fprintf(bw, "tenant=%s:%d\n", t.Workload, t.Threads)
 	}
@@ -238,6 +265,10 @@ func ParseSpec(r io.Reader) (Scenario, error) {
 			sc.Duration, err = time.ParseDuration(val)
 		case "schedule":
 			sc.Schedule = val
+		case "offeredload":
+			sc.OfferedLoad, err = strconv.Atoi(val)
+		case "admitq":
+			sc.AdmitQueue, err = strconv.Atoi(val)
 		case "tenant":
 			name, threads, ok := strings.Cut(val, ":")
 			if !ok {

@@ -113,6 +113,24 @@ func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
 			}
 		}
 
+		// Drop the overload dimension entirely, or failing that halve
+		// the offered rate (a lighter aggressor shrinks the run).
+		if cur.OfferedLoad > 0 {
+			cand := cur
+			cand.OfferedLoad, cand.AdmitQueue = 0, 0
+			if still(cand) {
+				cur = cand
+				improved = true
+			} else if cur.OfferedLoad >= 200 {
+				cand = cur
+				cand.OfferedLoad = cur.OfferedLoad / 2
+				if still(cand) {
+					cur = cand
+					improved = true
+				}
+			}
+		}
+
 		if !improved || budget <= 0 {
 			break
 		}

@@ -50,6 +50,15 @@ type Kernel struct {
 	flusherThreads []*cpu.Thread
 	flusherMask    cpu.Mask
 
+	// brownout is a refcount of overload sources (open circuit
+	// breakers, admission queues past high water) currently asking the
+	// kernel to degrade gracefully. While positive, every mount's dirty
+	// thresholds tighten to a quarter and readahead is deferred, so the
+	// kernel sheds buffered state instead of growing it into an
+	// overloaded backend. brownoutFlips counts off->on transitions.
+	brownout      int
+	brownoutFlips uint64
+
 	rec *obs.Recorder
 }
 
@@ -193,6 +202,42 @@ func (k *Kernel) wakeFlushers() {
 	k.flusherQ.Broadcast()
 }
 
+// BrownoutEnter registers one overload source. The first source flips
+// the kernel into brownout: dirty thresholds tighten to a quarter,
+// readahead is deferred, and the flushers are woken to start draining
+// against the lowered background threshold.
+func (k *Kernel) BrownoutEnter() {
+	k.brownout++
+	if k.brownout == 1 {
+		k.brownoutFlips++
+		k.rec.Mark(obs.HostTenant, "brownout:on")
+		k.wakeFlushers()
+	}
+}
+
+// BrownoutExit unregisters one overload source; the last one out
+// restores normal thresholds. Unbalanced exits are ignored.
+func (k *Kernel) BrownoutExit() {
+	if k.brownout == 0 {
+		return
+	}
+	k.brownout--
+	if k.brownout == 0 {
+		k.rec.Mark(obs.HostTenant, "brownout:off")
+		// Writers parked against the tightened threshold re-check
+		// against the restored one.
+		for _, m := range k.mounts {
+			m.throttleQ.Broadcast()
+		}
+	}
+}
+
+// Brownout reports whether any overload source is active.
+func (k *Kernel) Brownout() bool { return k.brownout > 0 }
+
+// BrownoutFlips returns how many times brownout engaged.
+func (k *Kernel) BrownoutFlips() uint64 { return k.brownoutFlips }
+
 // SetFlusherMask repins every writeback flusher thread — current and
 // future — to mask instead of the host-wide default. A zero mask
 // restores the roaming behaviour. This is the knob behind the what-if
@@ -248,7 +293,7 @@ func (k *Kernel) pickDirtyMount() *Mount {
 		if m.dirtyBytes == 0 || m.flushing >= k.params.NumFlushers {
 			continue
 		}
-		if m.dirtyBytes >= m.bgThresh || now-m.oldestDirty >= k.params.DirtyExpire {
+		if m.dirtyBytes >= m.bgThreshold() || now-m.oldestDirty >= k.params.DirtyExpire {
 			m.flushing++
 			k.mountRR = (k.mountRR + i + 1) % n
 			return m

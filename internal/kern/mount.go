@@ -123,6 +123,41 @@ func (k *Kernel) Mount(store Store, cfg MountConfig) *Mount {
 	return m
 }
 
+// maxDirty is the effective hard dirty threshold: the configured limit
+// normally, a quarter of it (at least one byte) in brownout, so an
+// overloaded backend accumulates a quarter of the buffered state.
+func (m *Mount) maxDirty() int64 {
+	if m.kern.brownout > 0 {
+		if v := m.cfg.MaxDirty / 4; v > 1 {
+			return v
+		}
+		return 1
+	}
+	return m.cfg.MaxDirty
+}
+
+// bgThreshold is the effective background writeback threshold,
+// tightened like maxDirty in brownout so flushers start draining early.
+func (m *Mount) bgThreshold() int64 {
+	if m.kern.brownout > 0 {
+		if v := m.bgThresh / 4; v > 1 {
+			return v
+		}
+		return 1
+	}
+	return m.bgThresh
+}
+
+// raWindow is the effective readahead window: zero in brownout —
+// speculative fetches are the first work to defer when the backend or
+// the admission queues are struggling.
+func (m *Mount) raWindow() int64 {
+	if m.kern.brownout > 0 {
+		return 0
+	}
+	return m.readahead
+}
+
 // Meter returns the mount's page-cache memory meter.
 func (m *Mount) Meter() *memacct.Meter { return m.meter }
 
@@ -244,7 +279,7 @@ func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	}
 	k.writebackLock.Unlock(ctx.P)
 
-	if m.dirtyBytes >= m.bgThresh {
+	if m.dirtyBytes >= m.bgThreshold() {
 		k.wakeFlushers()
 	}
 	// balance_dirty_pages: between the background and hard thresholds a
@@ -252,8 +287,11 @@ func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	// ramping up quadratically as dirty data approaches the limit. A
 	// collapsing flush rate (flushers starved of cores by a noisy
 	// neighbour) therefore translates directly into writer slowdown.
-	if over := m.dirtyBytes - m.bgThresh; over > 0 && m.flushRate > 0 {
-		span := m.cfg.MaxDirty - m.bgThresh
+	if over := m.dirtyBytes - m.bgThreshold(); over > 0 && m.flushRate > 0 {
+		span := m.maxDirty() - m.bgThreshold()
+		if span < 1 {
+			span = 1
+		}
 		ramp := float64(over) / float64(span)
 		if ramp > 1 {
 			ramp = 1
@@ -270,7 +308,7 @@ func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	}
 	// Teardown safety: with the flushers stopped nobody can lower the
 	// dirty level, so writers must not spin on the threshold.
-	for m.dirtyBytes >= m.cfg.MaxDirty && !k.stopped {
+	for m.dirtyBytes >= m.maxDirty() && !k.stopped {
 		start := k.eng.Now()
 		m.throttleQ.WaitTimeout(ctx.P, k.params.DirtyThrottleCheck)
 		ctx.T.Account().AddIOWait(k.eng.Now() - start)
@@ -294,7 +332,7 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 	var passTotal int64
 	for {
 		now := k.eng.Now()
-		needed := m.dirtyBytes >= m.bgThresh ||
+		needed := m.dirtyBytes >= m.bgThreshold() ||
 			(m.dirtyBytes > 0 && now-m.oldestDirty >= k.params.DirtyExpire)
 		if !needed {
 			break

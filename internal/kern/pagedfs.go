@@ -142,15 +142,17 @@ func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	}
 
 	// Readahead: grow the window on sequential access, reset on seek.
+	// Brownout zeroes the effective window, deferring speculative
+	// fetches while the backend or admission queues are overloaded.
 	fetchLen := n
-	if m.readahead > 0 {
+	if ra := m.raWindow(); ra > 0 {
 		if off == h.raNext {
 			if h.raWindow == 0 {
-				h.raWindow = m.readahead / 8
+				h.raWindow = ra / 8
 			}
 			h.raWindow *= 2
-			if h.raWindow > m.readahead {
-				h.raWindow = m.readahead
+			if h.raWindow > ra {
+				h.raWindow = ra
 			}
 		} else {
 			h.raWindow = 0 // random access: no readahead

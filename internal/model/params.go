@@ -172,6 +172,19 @@ type Params struct {
 	// ClientMaxRetries bounds retry attempts per operation in the
 	// user-level client.
 	ClientMaxRetries int
+	// BreakerFailureThreshold is the number of consecutive retryable
+	// failures that trips the per-client circuit breaker from closed to
+	// open (when the breaker is enabled; see cephclient.BreakerConfig).
+	BreakerFailureThreshold int
+	// BreakerOpenBase is the first open interval after a trip;
+	// successive trips double it deterministically up to BreakerOpenCap.
+	BreakerOpenBase time.Duration
+	// BreakerOpenCap caps the exponential open interval.
+	BreakerOpenCap time.Duration
+	// BreakerRecoveryTarget is the number of half-open probe successes
+	// needed to close the breaker again (slow start doubles the probe
+	// budget per success on the way there).
+	BreakerRecoveryTarget int
 
 	// --- Union filesystems ---
 
@@ -251,6 +264,11 @@ func Default() *Params {
 		ClientRetryBase:  200 * time.Microsecond,
 		ClientRetryCap:   20 * time.Millisecond,
 		ClientMaxRetries: 64,
+
+		BreakerFailureThreshold: 5,
+		BreakerOpenBase:         5 * time.Millisecond,
+		BreakerOpenCap:          160 * time.Millisecond,
+		BreakerRecoveryTarget:   4,
 
 		UnionLookupCost: 800 * time.Nanosecond,
 		CopyUpChunk:     1 << 20,

@@ -70,6 +70,10 @@ const (
 	LayerOSD Layer = "osd"
 	// LayerNet is time on the network fabric (NIC links, propagation).
 	LayerNet Layer = "net"
+	// LayerEvent is a zero-duration point marker (Recorder.Mark):
+	// circuit-breaker state transitions, brownout flips. The blame
+	// engine ignores it (it only decomposes LayerRequest slices).
+	LayerEvent Layer = "event"
 )
 
 // Config configures a Recorder.
@@ -287,6 +291,23 @@ func (r *Recorder) StartSpan(proc int, tenant, op string) *Span {
 	r.procSpan[s.proc] = s
 	r.open[s.id] = s
 	return s
+}
+
+// Mark records a zero-duration point event (layer "event") tagged with
+// tenant and name — breaker transitions, brownout flips. Unlike
+// StartSpan it never binds a process, so a mark emitted mid-request
+// cannot steal the wait attribution of the active request span.
+// Nil-safe.
+func (r *Recorder) Mark(tenant, name string) {
+	if r == nil || !r.room() {
+		return
+	}
+	r.nextSpan++
+	now := r.cfg.Clock()
+	r.slices = append(r.slices, SliceEvent{
+		Span: r.nextSpan, Tenant: r.intern(tenant), Op: r.intern(name),
+		Layer: r.intern(string(LayerEvent)), Start: now,
+	})
 }
 
 // Wait attributes one passively observed wait interval to the span

@@ -1,0 +1,174 @@
+package vfsapi_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+type admRig struct {
+	eng  *sim.Engine
+	cpus *cpu.CPU
+	acct *cpu.Account
+}
+
+func newAdmRig() *admRig {
+	eng := sim.NewEngine()
+	return &admRig{
+		eng:  eng,
+		cpus: cpu.New(eng, model.Default(), 4),
+		acct: cpu.NewAccount("adm"),
+	}
+}
+
+func (r *admRig) ctx(p *sim.Proc) vfsapi.Ctx {
+	return vfsapi.Ctx{P: p, T: r.cpus.NewThread(r.acct, 0)}
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	r := newAdmRig()
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{})
+	if a.QueueCap() != 32 {
+		t.Fatalf("default queue cap = %d, want 32", a.QueueCap())
+	}
+}
+
+// One slot, one queue seat: the first op holds the slot, the second
+// queues, the third is shed; releasing the slot hands it to the queued
+// op. The ledger must balance at every step.
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	r := newAdmRig()
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{MaxInFlight: 1, QueueCap: 1})
+	var shedErr error
+	var queuedRan bool
+	r.eng.Go("holder", func(p *sim.Proc) {
+		if err := a.Admit(r.ctx(p)); err != nil {
+			t.Errorf("holder shed: %v", err)
+			return
+		}
+		p.Sleep(10 * time.Millisecond)
+		a.Release()
+	})
+	r.eng.Go("queued", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		if err := a.Admit(r.ctx(p)); err != nil {
+			t.Errorf("queued op shed: %v", err)
+			return
+		}
+		queuedRan = true
+		a.Release()
+	})
+	r.eng.Go("shed", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		shedErr = a.Admit(r.ctx(p))
+	})
+	r.eng.Run()
+
+	if !errors.Is(shedErr, vfsapi.ErrOverload) {
+		t.Fatalf("third op got %v, want ErrOverload", shedErr)
+	}
+	if !queuedRan {
+		t.Fatal("queued op never admitted after release")
+	}
+	s := a.Stats()
+	if s.Offered != 3 || s.Admitted != 2 || s.Shed != 1 {
+		t.Fatalf("ledger offered/admitted/shed = %d/%d/%d, want 3/2/1", s.Offered, s.Admitted, s.Shed)
+	}
+	if s.Offered != s.Admitted+s.Shed+uint64(s.InFlight) {
+		t.Fatalf("accounting identity broken: %+v", s)
+	}
+	if s.MaxQueued != 1 || s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("maxq/inflight/queued = %d/%d/%d, want 1/0/0", s.MaxQueued, s.InFlight, s.Queued)
+	}
+	if s.QueuedTime <= 0 {
+		t.Fatal("queued op reported no queueing time")
+	}
+}
+
+// The pressure callback must fire once on the high-water crossing and
+// once when the queue drains past low water — not on every admit.
+func TestAdmissionPressureHysteresis(t *testing.T) {
+	r := newAdmRig()
+	var highs, lows int
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{
+		MaxInFlight: 1, QueueCap: 4, HighWater: 2, LowWater: 1,
+		OnPressure: func(high bool) {
+			if high {
+				highs++
+			} else {
+				lows++
+			}
+		},
+	})
+	r.eng.Go("holder", func(p *sim.Proc) {
+		if err := a.Admit(r.ctx(p)); err != nil {
+			t.Errorf("holder shed: %v", err)
+			return
+		}
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			a.Release()
+		}
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		r.eng.Go("waiter", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			if err := a.Admit(r.ctx(p)); err != nil {
+				t.Errorf("waiter %d shed: %v", i, err)
+			}
+		})
+	}
+	r.eng.Run()
+	if highs != 1 || lows != 1 {
+		t.Fatalf("pressure callbacks high/low = %d/%d, want 1/1", highs, lows)
+	}
+}
+
+// The decorator wraps every data operation in admit/release; a nil
+// controller must leave the filesystem untouched.
+func TestAdmittedDecorator(t *testing.T) {
+	fs := memfs.New()
+	if got := vfsapi.Admitted(fs, nil); got != vfsapi.FileSystem(fs) {
+		t.Fatal("nil controller should return the inner filesystem")
+	}
+	r := newAdmRig()
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{MaxInFlight: 2, QueueCap: 4})
+	wrapped := vfsapi.Admitted(fs, a)
+	r.eng.Go("ops", func(p *sim.Proc) {
+		ctx := r.ctx(p)
+		h, err := wrapped.Open(ctx, "/f", vfsapi.CREATE|vfsapi.WRONLY)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := h.Write(ctx, 0, 4096); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := h.Fsync(ctx); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		if err := h.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if _, err := wrapped.Stat(ctx, "/f"); err != nil {
+			t.Errorf("stat: %v", err)
+		}
+	})
+	r.eng.Run()
+	s := a.Stats()
+	// Open, Write, Fsync, Close (admission-exempt but ledger-counted),
+	// Stat: five offered, all admitted, none shed, nothing residual.
+	if s.Offered != 5 || s.Admitted != 5 || s.Shed != 0 {
+		t.Fatalf("decorator ledger = %+v, want 5 offered/admitted", s)
+	}
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("residual in-flight/queued: %+v", s)
+	}
+}

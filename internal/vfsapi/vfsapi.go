@@ -119,4 +119,8 @@ var (
 	// ErrIO is returned when a client exhausts its retry budget against
 	// a faulted backend (crashed OSD, partitioned link) and gives up.
 	ErrIO = errors.New("input/output error")
+	// ErrOverload is returned when an admission controller sheds an
+	// operation because both the in-flight slots and the bounded wait
+	// queue are full (see Admission).
+	ErrOverload = errors.New("overloaded: admission queue full")
 )

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// OpenLoop is a production-shaped open-loop load generator: requests
+// arrive as a seeded Poisson process at a configurable offered rate,
+// independent of how fast earlier requests complete — unlike the
+// closed-loop benchmark clones, queueing delay does not throttle the
+// arrival stream, so sustained overload actually accumulates. Each
+// arrival opens Path, reads OpSize bytes at a random aligned offset,
+// and closes. Arrivals shed by an admission controller
+// (vfsapi.ErrOverload) are counted, not retried: the open-loop client
+// has moved on.
+type OpenLoop struct {
+	FS       vfsapi.FileSystem
+	Path     string
+	FileSize int64 // addressable range for random offsets
+	OpSize   int64 // bytes read per request (default 256 KiB)
+	// Rate is the offered load in requests per second of virtual time.
+	Rate float64
+	// Seed drives the arrival process and offset choice.
+	Seed      int64
+	NewThread func() *cpu.Thread
+
+	Stats *Stats // per-request latency inside the measurement window
+
+	// Offered counts arrivals generated, Completed successful requests,
+	// Shed requests refused with ErrOverload, Failed other errors —
+	// over the whole run, not just the measurement window.
+	Offered   uint64
+	Completed uint64
+	Shed      uint64
+	Failed    uint64
+}
+
+// Run starts the dispatcher, which spawns one short-lived thread per
+// arrival until the clock expires.
+func (w *OpenLoop) Run(g *Group, clock Clock) {
+	if w.OpSize <= 0 {
+		w.OpSize = 256 << 10
+	}
+	if w.Rate <= 0 {
+		w.Rate = 100
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	g.Go("openloop-dispatch", func(p *sim.Proc) {
+		for !clock.Done() {
+			gap := time.Duration(rng.ExpFloat64() / w.Rate * float64(time.Second))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			p.Sleep(gap)
+			if clock.Done() {
+				return
+			}
+			w.Offered++
+			off := w.offset(rng)
+			g.Go("openloop-req", func(rp *sim.Proc) {
+				w.request(rp, clock, off)
+			})
+		}
+	})
+}
+
+// offset draws a random OpSize-aligned offset inside the file.
+func (w *OpenLoop) offset(rng *rand.Rand) int64 {
+	slots := w.FileSize / w.OpSize
+	if slots <= 1 {
+		return 0
+	}
+	return rng.Int63n(slots) * w.OpSize
+}
+
+func (w *OpenLoop) request(p *sim.Proc, clock Clock, off int64) {
+	th := w.NewThread()
+	ctx := ctxFor(p, th)
+	start := clock.Eng.Now()
+	measuring := clock.Measuring()
+	h, err := w.FS.Open(ctx, w.Path, vfsapi.RDONLY)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	_, err = h.Read(ctx, off, w.OpSize)
+	h.Close(ctx)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.Completed++
+	if measuring && w.Stats != nil {
+		w.Stats.Record(w.OpSize, clock.Eng.Now()-start)
+	}
+}
+
+func (w *OpenLoop) fail(err error) {
+	if errors.Is(err, vfsapi.ErrOverload) {
+		w.Shed++
+		return
+	}
+	w.Failed++
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+func prepOpenLoopFile(t *testing.T, r *rig, p *sim.Proc, size int64) {
+	t.Helper()
+	ctx := vfsapi.Ctx{P: p, T: r.newThread()}
+	h, err := r.mem.Open(ctx, "/f", vfsapi.CREATE|vfsapi.WRONLY)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := h.Write(ctx, 0, size); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// The open-loop generator offers load independent of completions and
+// accounts every arrival exactly once.
+func TestOpenLoopAccounting(t *testing.T) {
+	r := newRig(t)
+	w := &OpenLoop{
+		FS: r.mem, Path: "/f", FileSize: 1 << 20, OpSize: 64 << 10,
+		Rate: 2000, Seed: 5, NewThread: r.newThread, Stats: NewStats(),
+	}
+	r.run(t, func(p *sim.Proc) {
+		prepOpenLoopFile(t, r, p, 1<<20)
+		g := NewGroup(r.eng)
+		w.Run(g, r.clock(5*time.Millisecond, 50*time.Millisecond))
+		g.Wait(p)
+	})
+	if w.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if w.Offered != w.Completed+w.Shed+w.Failed {
+		t.Fatalf("accounting: offered %d != completed %d + shed %d + failed %d",
+			w.Offered, w.Completed, w.Shed, w.Failed)
+	}
+	if w.Shed != 0 || w.Failed != 0 {
+		t.Fatalf("unthrottled memfs shed/failed ops: %d/%d", w.Shed, w.Failed)
+	}
+	if w.Stats.Ops.Ops == 0 {
+		t.Fatal("no operations recorded in the measurement window")
+	}
+}
+
+// Same seed, same arrivals: the Poisson process is deterministic.
+func TestOpenLoopDeterministic(t *testing.T) {
+	counts := make([]uint64, 2)
+	for i := range counts {
+		r := newRig(t)
+		w := &OpenLoop{
+			FS: r.mem, Path: "/f", FileSize: 1 << 20, OpSize: 64 << 10,
+			Rate: 3000, Seed: 11, NewThread: r.newThread,
+		}
+		r.run(t, func(p *sim.Proc) {
+			prepOpenLoopFile(t, r, p, 1<<20)
+			g := NewGroup(r.eng)
+			w.Run(g, r.clock(time.Millisecond, 40*time.Millisecond))
+			g.Wait(p)
+		})
+		counts[i] = w.Offered
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("same-seed arrival counts diverged: %d vs %d", counts[0], counts[1])
+	}
+}
+
+// shedFS rejects every open with ErrOverload, standing in for a
+// saturated admission controller.
+type shedFS struct{ vfsapi.FileSystem }
+
+func (s shedFS) Open(vfsapi.Ctx, string, vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	return nil, vfsapi.ErrOverload
+}
+
+// ErrOverload counts as shed, not failed.
+func TestOpenLoopCountsShed(t *testing.T) {
+	r := newRig(t)
+	w := &OpenLoop{
+		FS: shedFS{r.mem}, Path: "/f", FileSize: 1 << 20, OpSize: 64 << 10,
+		Rate: 2000, Seed: 5, NewThread: r.newThread,
+	}
+	r.run(t, func(p *sim.Proc) {
+		g := NewGroup(r.eng)
+		w.Run(g, r.clock(time.Millisecond, 30*time.Millisecond))
+		g.Wait(p)
+	})
+	if w.Offered == 0 || w.Shed != w.Offered || w.Failed != 0 || w.Completed != 0 {
+		t.Fatalf("shed accounting: offered %d shed %d failed %d completed %d",
+			w.Offered, w.Shed, w.Failed, w.Completed)
+	}
+}
