@@ -63,6 +63,7 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"blamesweep":    runBlameSweep,
 	"fuzzsweep":     runFuzzSweep,
 	"overloadsweep": runOverloadSweep,
+	"crashsweep":    runCrashSweep,
 }
 
 // invariantFailures counts invariant violations observed by experiment
@@ -124,6 +125,8 @@ func main() {
 	fuzzDir := flag.String("fuzzdir", "fuzz-repros", "directory for shrunk reproducer specs of failing fuzz scenarios ('' disables)")
 	fuzzSpec := flag.String("fuzzspec", "", "replay one fuzz reproducer spec file and check its invariants")
 	overload := flag.Bool("overload", false, "shorthand for -exp overloadsweep")
+	crash := flag.Bool("crash", false, "shorthand for -exp crashsweep")
+	flag.StringVar(&crashCSVPath, "crashcsv", "", "write crashsweep rows (recovery time, blast radius) as CSV to this file")
 	flag.Parse()
 
 	if *overload {
@@ -132,6 +135,13 @@ func main() {
 			os.Exit(2)
 		}
 		*exp = "overloadsweep"
+	}
+	if *crash {
+		if *exp != "" && *exp != "crashsweep" {
+			fmt.Fprintln(os.Stderr, "-crash conflicts with -exp "+*exp)
+			os.Exit(2)
+		}
+		*exp = "crashsweep"
 	}
 
 	if *fuzzSpec != "" {
@@ -473,6 +483,44 @@ func runFaultSweep(scale experiments.Scale) {
 		fmt.Println("  " + row.String())
 		noteViolations(experiments.FaultRowViolations(row))
 	}
+}
+
+// crashCSVPath, when set via -crashcsv, receives the crashsweep rows
+// as CSV (one line per case) for CI artifact collection.
+var crashCSVPath string
+
+func runCrashSweep(scale experiments.Scale) {
+	fmt.Println("Crash sweep: recovery time and blast radius of client-side crashes (D vs F vs K)")
+	var rows []experiments.CrashSweepRow
+	for _, c := range experiments.CrashSweepCases() {
+		row := experiments.RunCrashSweep(c, scale)
+		fmt.Println("  " + row.String())
+		noteViolations(experiments.CrashRowViolations(row))
+		rows = append(rows, row)
+	}
+	if crashCSVPath == "" {
+		return
+	}
+	f, err := os.Create(crashCSVPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashsweep csv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(f, "label,config,replication,victim_mbps,victim_errors,bystander_mbps,bystander_errors,affected_tenants,queue_shed,recovery_ns,victim_repair_ns,durability_loss_bytes")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%s,%d,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d\n",
+			r.Label, r.Config, r.Replication,
+			r.VictimWriteMBps, r.VictimErrors,
+			r.BystanderMBps, r.BystanderErrors,
+			r.AffectedTenants, r.QueueShed,
+			r.RecoveryTime.Nanoseconds(), r.VictimRepair.Nanoseconds(),
+			r.DurabilityViolation)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "crashsweep csv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crashsweep: %d row(s) -> %s\n", len(rows), crashCSVPath)
 }
 
 func runOverloadSweep(scale experiments.Scale) {

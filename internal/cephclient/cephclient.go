@@ -102,6 +102,13 @@ type Client struct {
 	stopped     bool
 	crashed     bool
 	threads     []*cpu.Thread // the client's own threads, for repinning
+
+	// gen counts crash incarnations: handles carry the generation they
+	// were opened under and go stale when it moves on. sessionEpoch is
+	// the client's current MDS session epoch (see cluster sessions).
+	gen          uint64
+	sessionEpoch uint64
+	crashes      uint64
 }
 
 type attrEntry struct {
@@ -111,6 +118,7 @@ type attrEntry struct {
 
 type cfile struct {
 	ino        uint64
+	gen        uint64 // client crash generation at creation
 	size       int64
 	cached     extent.Set
 	dirty      extent.Set
@@ -185,6 +193,7 @@ func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params, clus *cluster.Clu
 		}
 		c.brk = newBreaker(*bc, &c.jitterState)
 	}
+	c.sessionEpoch = clus.OpenSession(cfg.Name, c)
 	for i := 0; i < cfg.Flushers; i++ {
 		eng.Go(cfg.Name+".flusher", func(p *sim.Proc) { c.flusherLoop(p) })
 	}
@@ -218,6 +227,8 @@ func (c *Client) Repin(mask cpu.Mask) {
 // writes are lost and applications must repeat unacknowledged requests.
 func (c *Client) Crash() {
 	c.crashed = true
+	c.gen++
+	c.crashes++
 	if n := c.meter.Current(); n > 0 {
 		c.meter.Free(n)
 	}
@@ -227,15 +238,49 @@ func (c *Client) Crash() {
 	c.lru.Init()
 	c.dirtyBytes = 0
 	c.dirtyList = nil
+	c.clus.MarkSessionStale(c.cfg.Name)
 	c.Stop()
+}
+
+// Restart runs the crash-recovery protocol: reclaim the MDS session
+// (which fences the dead incarnation's capabilities and issues a fresh
+// epoch), then resume service with a cold cache and fresh flusher
+// threads. Handles opened before the crash stay stale — applications
+// must reopen, the replayable-remount contract. ctx must carry a live
+// process for the session round trip.
+func (c *Client) Restart(ctx vfsapi.Ctx) error {
+	if !c.crashed {
+		return nil
+	}
+	epoch, err := c.clus.ReclaimSession(ctx, c.cfg.Name)
+	if err != nil {
+		return err
+	}
+	c.sessionEpoch = epoch
+	c.crashed = false
+	c.stopped = false
+	for i := 0; i < c.cfg.Flushers; i++ {
+		c.eng.Go(c.cfg.Name+".flusher", func(p *sim.Proc) { c.flusherLoop(p) })
+	}
+	return nil
 }
 
 // Crashed reports whether the service has failed.
 func (c *Client) Crashed() bool { return c.crashed }
 
+// Crashes counts crash events since the client was built.
+func (c *Client) Crashes() uint64 { return c.crashes }
+
+// SessionEpoch returns the client's current MDS session epoch.
+func (c *Client) SessionEpoch() uint64 { return c.sessionEpoch }
+
 // failIfCrashed is checked on the entry of every operation.
-func (c *Client) failIfCrashed() error {
+func (c *Client) failIfCrashed(ctx vfsapi.Ctx) error {
 	if c.crashed {
+		// A failed call still burns an operation's worth of CPU —
+		// charging it keeps erroring retry loops moving in simulated
+		// time instead of spinning at one virtual instant.
+		c.opCPU(ctx)
 		return ErrCrashed
 	}
 	return nil
@@ -346,6 +391,11 @@ func (c *Client) readBackend(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 	backoff := c.params.ClientRetryBase
 	repl := c.clus.Replication()
 	for try := 0; ; try++ {
+		if c.crashed {
+			// A crash mid-backoff must not let the next attempt slip
+			// through: dead services issue no more requests.
+			return ErrCrashed
+		}
 		var err error
 		member := 0
 		if try == 0 {
@@ -363,7 +413,10 @@ func (c *Client) readBackend(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 			}
 			return nil
 		}
-		if !retryable(err) || c.stopped || c.crashed {
+		if c.crashed {
+			return ErrCrashed
+		}
+		if !retryable(err) || c.stopped {
 			return err
 		}
 		if c.brk != nil {
@@ -391,6 +444,11 @@ func (c *Client) writePersist(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 	repl := c.clus.Replication()
 	missed := false
 	for try := 0; ; try++ {
+		if c.crashed {
+			// The crash already discarded this incarnation's dirty state;
+			// persisting more of it from a dead service would be wrong.
+			return ErrCrashed
+		}
 		// An open breaker never sheds writeback (that would drop
 		// acknowledged data); it holds the write off until the open
 		// interval elapses, then lets it probe with everyone else.
@@ -403,6 +461,9 @@ func (c *Client) writePersist(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 				c.faults.TimeDegraded += wait
 			}
 		}
+		if c.crashed {
+			return ErrCrashed
+		}
 		acting := try % repl
 		err := c.clus.WriteReplica(ctx, ino, off, n, acting)
 		if err == nil {
@@ -414,7 +475,10 @@ func (c *Client) writePersist(ctx vfsapi.Ctx, ino uint64, off, n int64) error {
 			}
 			return nil
 		}
-		if !retryable(err) || c.stopped || c.crashed {
+		if c.crashed {
+			return ErrCrashed
+		}
+		if !retryable(err) || c.stopped {
 			return err
 		}
 		if c.brk != nil {
@@ -485,13 +549,20 @@ func (c *Client) copyData(ctx vfsapi.Ctx, n int64, write bool) {
 func (c *Client) file(ino uint64, size int64) *cfile {
 	f, ok := c.files[ino]
 	if !ok {
-		f = &cfile{ino: ino, size: size}
+		f = &cfile{ino: ino, gen: c.gen, size: size}
 		c.files[ino] = f
 	}
 	return f
 }
 
 func (c *Client) touch(f *cfile) {
+	// A crash discards every cfile of its generation; an operation that
+	// was blocked across it still holds a dead incarnation's cfile and
+	// must not push it into the new LRU (its residency is no longer in
+	// the meter, so a later eviction would underflow).
+	if f.gen != c.gen {
+		return
+	}
 	if f.lruElem == nil {
 		f.lruElem = c.lru.PushBack(f)
 		return
@@ -503,6 +574,9 @@ func (c *Client) touch(f *cfile) {
 // Caller must NOT hold client_lock.
 func (c *Client) cacheInsert(ctx vfsapi.Ctx, f *cfile, off, n int64) {
 	c.lockedMeta(ctx, func() {
+		if f.gen != c.gen {
+			return // stale cfile from before a crash: not accounted
+		}
 		added := f.cached.Insert(off, n)
 		c.meter.Alloc(added)
 		c.touch(f)
@@ -540,6 +614,9 @@ func (c *Client) evict(ctx vfsapi.Ctx) {
 func (c *Client) markDirty(ctx vfsapi.Ctx, f *cfile, off, n int64) {
 	var newly int64
 	c.lockedMeta(ctx, func() {
+		if f.gen != c.gen {
+			return // stale cfile from before a crash: not accounted
+		}
 		newly = f.dirty.Insert(off, n)
 		if newly > 0 {
 			if !f.inDirty {
@@ -621,6 +698,11 @@ func (c *Client) flushPass(ctx vfsapi.Ctx) {
 				c.stats.FlushedBytes += e.Len
 			}
 		}
+		if c.crashed {
+			// Crashed mid-flush: the crash reset the dirty accounting
+			// wholesale, so this pass must not decrement it again.
+			return
+		}
 		passTotal += total
 		c.dirtyBytes -= total
 		if f.dirty.Len() == 0 {
@@ -695,6 +777,9 @@ func (c *Client) RevokeCaps(ctx vfsapi.Ctx, ino uint64) {
 			c.writePersist(ctx, f.ino, e.Off, e.Len)
 			total += e.Len
 		}
+		if c.crashed {
+			return
+		}
 		c.dirtyBytes -= total
 	}
 	c.removeDirty(f)
@@ -726,6 +811,9 @@ func (c *Client) SyncAll(ctx vfsapi.Ctx) {
 				c.wire(ctx, e.Len)
 				c.writePersist(ctx, f.ino, e.Off, e.Len)
 				total += e.Len
+			}
+			if c.crashed {
+				return
 			}
 			c.dirtyBytes -= total
 		}

@@ -1,16 +1,17 @@
 package cephclient
 
 import (
-	"errors"
-
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/vfsapi"
 )
 
 // ErrCrashed is returned by every operation after the filesystem
-// service has failed.
-var ErrCrashed = errors.New("cephclient: filesystem service crashed")
+// service has failed, and by operations on handles that predate a
+// crash after the service restarted. It aliases vfsapi.ErrCrashed so
+// every client stack (Danaus, FUSE, kernel) fails with the same
+// deterministic error.
+var ErrCrashed = vfsapi.ErrCrashed
 
 // The vfsapi.FileSystem implementation of the user-level client.
 
@@ -38,7 +39,7 @@ func (c *Client) lookupAttr(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint6
 // Open opens or creates a file.
 func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
-	if err := c.failIfCrashed(); err != nil {
+	if err := c.failIfCrashed(ctx); err != nil {
 		return nil, err
 	}
 	c.opCPU(ctx)
@@ -94,13 +95,13 @@ func (c *Client) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsap
 			}
 		})
 	}
-	return &chandle{c: c, f: f, path: path, flags: flags}, nil
+	return &chandle{c: c, f: f, path: path, flags: flags, gen: c.gen}, nil
 }
 
 // Stat returns metadata, preferring the client's newer size view.
 func (c *Client) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
-	if err := c.failIfCrashed(); err != nil {
+	if err := c.failIfCrashed(ctx); err != nil {
 		return vfsapi.FileInfo{}, err
 	}
 	c.opCPU(ctx)
@@ -117,6 +118,9 @@ func (c *Client) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
 // Mkdir creates a directory at the MDS.
 func (c *Client) Mkdir(ctx vfsapi.Ctx, path string) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := c.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	return c.clus.MetaMkdir(ctx, path)
@@ -125,6 +129,9 @@ func (c *Client) Mkdir(ctx vfsapi.Ctx, path string) error {
 // Readdir lists a directory at the MDS.
 func (c *Client) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := c.failIfCrashed(ctx); err != nil {
+		return nil, err
+	}
 	c.opCPU(ctx)
 	c.wire(ctx, 512)
 	return c.clus.MetaReaddir(ctx, path)
@@ -133,6 +140,9 @@ func (c *Client) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error)
 // Unlink removes a file, dropping local cache state.
 func (c *Client) Unlink(ctx vfsapi.Ctx, path string) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := c.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	if err := c.clus.MetaUnlink(ctx, path); err != nil {
@@ -155,6 +165,9 @@ func (c *Client) Unlink(ctx vfsapi.Ctx, path string) error {
 // Rmdir removes an empty directory at the MDS.
 func (c *Client) Rmdir(ctx vfsapi.Ctx, path string) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := c.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	return c.clus.MetaRmdir(ctx, path)
@@ -163,6 +176,9 @@ func (c *Client) Rmdir(ctx vfsapi.Ctx, path string) error {
 // Rename moves a file at the MDS and rewrites cached entries.
 func (c *Client) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := c.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	c.opCPU(ctx)
 	c.wire(ctx, 256)
 	if err := c.clus.MetaRename(ctx, oldPath, newPath); err != nil {
@@ -187,6 +203,10 @@ type chandle struct {
 	closed bool
 	wrote  bool
 
+	// gen is the client crash generation the handle was opened under; a
+	// handle from an older generation is stale after a crash.
+	gen uint64
+
 	// Sequential-read detection for the client's readahead.
 	raNext   int64
 	raWindow int64
@@ -198,10 +218,24 @@ func (h *chandle) Path() string { return h.path }
 // Size returns the client's size view.
 func (h *chandle) Size() int64 { return h.f.size }
 
+// failIfStale rejects operations while the service is down and on
+// handles that predate a crash: the restarted service has no state for
+// them (its cfile map is cold), so they keep failing with ErrCrashed
+// until the application reopens — the replayable-remount contract.
+func (h *chandle) failIfStale(ctx vfsapi.Ctx) error {
+	if h.c.crashed || h.gen != h.c.gen {
+		// Failing is not free: charge one operation's CPU so loops
+		// erroring on a stale handle advance simulated time.
+		h.c.opCPU(ctx)
+		return ErrCrashed
+	}
+	return nil
+}
+
 // Read serves from the object cache, fetching misses from the OSDs.
 func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
-	if err := h.c.failIfCrashed(); err != nil {
+	if err := h.failIfStale(ctx); err != nil {
 		return 0, err
 	}
 	if h.closed {
@@ -243,6 +277,12 @@ func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	// fetched by another reader is awaited, not re-fetched (the page
 	// in-flight locking of a real client).
 	for {
+		// The client can crash while this reader is parked on the fetch
+		// queue or inside the backend read below; resume as a failure,
+		// not as a cache insert against the restarted incarnation.
+		if err := h.failIfStale(ctx); err != nil {
+			return 0, err
+		}
 		var gOff, gLen int64
 		wait := false
 		c.lockedMeta(ctx, func() {
@@ -274,6 +314,11 @@ func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 			c.fetchQ.Broadcast()
 			return 0, rerr
 		}
+		if err := h.failIfStale(ctx); err != nil {
+			c.lockedMeta(ctx, func() { h.f.fetching.Remove(gOff, gLen) })
+			c.fetchQ.Broadcast()
+			return 0, err
+		}
 		c.stats.MissBytes += gLen
 		c.cacheInsert(ctx, h.f, gOff, gLen)
 		c.lockedMeta(ctx, func() { h.f.fetching.Remove(gOff, gLen) })
@@ -289,7 +334,7 @@ func (h *chandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 // client's dirty limit.
 func (h *chandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
-	if err := h.c.failIfCrashed(); err != nil {
+	if err := h.failIfStale(ctx); err != nil {
 		return 0, err
 	}
 	if h.closed {
@@ -306,6 +351,12 @@ func (h *chandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	h.wrote = true
 	c.stats.WriteBytes += n
 	c.copyData(ctx, n, true)
+	// copyData waits on client_lock; the writer may resume on the far
+	// side of a crash and must fail rather than dirty the restarted
+	// incarnation's cache through a dead cfile.
+	if err := h.failIfStale(ctx); err != nil {
+		return 0, err
+	}
 	c.cacheInsert(ctx, h.f, off, n)
 	if end := off + n; end > h.f.size {
 		h.f.size = end
@@ -325,6 +376,9 @@ func (h *chandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
 // Fsync drains this file's dirty data synchronously.
 func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
+	if err := h.failIfStale(ctx); err != nil {
+		return err
+	}
 	if h.closed {
 		return vfsapi.ErrClosed
 	}
@@ -347,9 +401,15 @@ func (h *chandle) Fsync(ctx vfsapi.Ctx) error {
 				break
 			}
 		}
+		if err := h.failIfStale(ctx); err != nil {
+			// Crashed mid-persist: the crash already zeroed the dirty
+			// accounting with the rest of the cache, so decrementing the
+			// popped extents here would double-count the loss.
+			return err
+		}
 		// The popped extents left the dirty set either way; keep the
 		// accounting consistent even on a failed persist (the client is
-		// stopped or crashed — the data is lost, as a crash loses it).
+		// stopped — the data is lost, as a crash loses it).
 		c.dirtyBytes -= popped
 		c.throttleQ.Broadcast()
 		if werr != nil {
@@ -366,6 +426,12 @@ func (h *chandle) Close(ctx vfsapi.Ctx) error {
 	defer ctx.Span.Enter(obs.LayerClient).Exit()
 	if h.closed {
 		return vfsapi.ErrClosed
+	}
+	if err := h.failIfStale(ctx); err != nil {
+		// The handle is dead either way; report the crash but do not
+		// push sizes from a pre-crash incarnation into the fresh cache.
+		h.closed = true
+		return err
 	}
 	h.closed = true
 	h.c.opCPU(ctx)

@@ -29,9 +29,10 @@ type Cluster struct {
 	params *model.Params
 	fabric *netsim.Fabric
 
-	osds []*OSD
-	mds  *MDS
-	caps map[uint64][]capEntry
+	osds     []*OSD
+	mds      *MDS
+	caps     map[uint64][]capEntry
+	sessions map[string]*mdsSession
 
 	// replication is the number of OSD copies per object (Ceph pool
 	// "size"). The default of 1 matches the paper's ramdisk evaluation
@@ -127,6 +128,10 @@ type MDS struct {
 	params *model.Params
 	tree   *nstree.Tree
 	ops    uint64
+
+	// sessionsReclaimed counts recovery-protocol session reclaims (see
+	// sessions.go).
+	sessionsReclaimed uint64
 
 	// stalled freezes metadata processing (fault injection: an MDS
 	// failover or journal replay window). Requests queue on stallQ and

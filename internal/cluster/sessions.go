@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vfsapi"
+)
+
+// MDS session registry (a simplified form of the CephFS/CFS client
+// session protocol): every client-side filesystem service registers a
+// named session when it mounts. A client crash marks its session stale;
+// the restarted client must reclaim it before serving traffic. Reclaim
+// fences the stale incarnation — the MDS drops every capability the
+// dead client still held, so a zombie cannot block cap acquisition or
+// resurrect pre-crash dirty state — and issues a new session epoch.
+// Operations presenting a fenced epoch fail with ErrStaleSession.
+
+// ErrStaleSession is returned when a client presents a session epoch
+// that the MDS has fenced (the session was reclaimed by a newer
+// incarnation, or marked stale by a crash and not yet reclaimed).
+var ErrStaleSession = errors.New("cluster: stale mds session")
+
+type mdsSession struct {
+	epoch  uint64
+	stale  bool
+	holder CapHolder
+}
+
+// OpenSession registers (or re-registers) a client session under name
+// and returns its epoch. The holder — which may be nil for clients that
+// never take capabilities — is the CapHolder the MDS will fence if the
+// session dies. Opening an existing live session is idempotent.
+func (c *Cluster) OpenSession(name string, holder CapHolder) uint64 {
+	if c.sessions == nil {
+		c.sessions = map[string]*mdsSession{}
+	}
+	s := c.sessions[name]
+	if s == nil {
+		s = &mdsSession{epoch: 1, holder: holder}
+		c.sessions[name] = s
+		return s.epoch
+	}
+	s.holder = holder
+	return s.epoch
+}
+
+// MarkSessionStale records that the session's client died. The epoch
+// stops validating immediately; capabilities stay until the reclaim
+// fences them (the MDS cannot know the client is gone until either a
+// reclaim or a timeout, and the deterministic testbed models the
+// reclaim path).
+func (c *Cluster) MarkSessionStale(name string) {
+	if s := c.sessions[name]; s != nil {
+		s.stale = true
+	}
+}
+
+// ReclaimSession is the recovery-protocol step a restarted client runs
+// before serving traffic: one metadata round trip that fences the stale
+// incarnation (dropping every capability its holder still had) and
+// issues a fresh epoch. It returns the new epoch. Reclaiming a session
+// that was never opened is an error — the restarted client must be the
+// same mount the MDS knew.
+func (c *Cluster) ReclaimSession(ctx vfsapi.Ctx, name string) (uint64, error) {
+	s := c.sessions[name]
+	if s == nil {
+		return 0, fmt.Errorf("cluster: reclaim of unknown session %q", name)
+	}
+	if err := c.mdsRPC(ctx, 0, func() error { return nil }); err != nil {
+		return 0, err
+	}
+	if s.holder != nil {
+		c.fenceHolder(s.holder)
+	}
+	s.stale = false
+	s.epoch++
+	c.mds.sessionsReclaimed++
+	return s.epoch, nil
+}
+
+// ValidateSession checks a (name, epoch) pair against the registry:
+// stale sessions and superseded epochs fail with ErrStaleSession.
+func (c *Cluster) ValidateSession(name string, epoch uint64) error {
+	s := c.sessions[name]
+	if s == nil || s.stale || s.epoch != epoch {
+		return ErrStaleSession
+	}
+	return nil
+}
+
+// SessionsReclaimed counts completed session reclaims (recovery
+// protocol runs) since the cluster was built.
+func (c *Cluster) SessionsReclaimed() uint64 { return c.mds.sessionsReclaimed }
+
+// SessionCount returns how many sessions are registered. Clients
+// without a natural name (the kernel Ceph stores) use it to mint a
+// deterministic unique session name at construction.
+func (c *Cluster) SessionCount() int { return len(c.sessions) }
+
+// fenceHolder drops every capability the holder has on any inode and
+// returns how many entries were fenced. Unlike ReleaseCaps it needs no
+// cooperation from the (dead) client.
+func (c *Cluster) fenceHolder(holder CapHolder) int {
+	fenced := 0
+	for ino, entries := range c.caps {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.holder == holder {
+				fenced++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(c.caps, ino)
+		} else {
+			c.caps[ino] = kept
+		}
+	}
+	return fenced
+}

@@ -116,6 +116,19 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 	host.SetCounter("osd_bytes_written", int64(osdWritten))
 	host.SetCounter("osd_ops", int64(osdOps))
 	host.SetCounter("brownout_flips", int64(tb.Kernel.BrownoutFlips()))
+	if n := tb.Cluster.SessionsReclaimed(); n > 0 {
+		host.SetCounter("mds_sessions_reclaimed", int64(n))
+	}
+	if n := len(tb.crashLog); n > 0 {
+		host.SetCounter("crash_events", int64(n))
+		var rec int64
+		for _, ev := range tb.crashLog {
+			if ev.Recovered {
+				rec += int64(ev.RecoveryTime())
+			}
+		}
+		host.SetCounter("crash_recovery_ns", rec)
+	}
 	host.SetCounter("mds_ops", int64(tb.Cluster.MDSOps()))
 	host.SetCounter("mds_queue_delay_ns", int64(tb.Cluster.MDSQueueDelay()))
 	if fab := tb.Cluster.Fabric(); fab != nil && fab.Client != nil {
@@ -143,6 +156,16 @@ func (tb *Testbed) harvest(reg *obs.Registry) {
 			t.SetCounter("admission_shed", int64(as.Shed))
 			t.SetCounter("admission_max_queued", int64(as.MaxQueued))
 			t.SetCounter("admission_queued_ns", int64(as.QueuedTime))
+		}
+		var crashes uint64
+		for _, c := range p.clients {
+			crashes += c.Crashes()
+		}
+		for _, m := range p.kernMounts {
+			crashes += m.Crashes()
+		}
+		if crashes > 0 {
+			t.SetCounter("client_crashes", int64(crashes))
 		}
 		for _, c := range p.clients {
 			cs := c.Stats()

@@ -34,7 +34,12 @@ type Pool struct {
 	containers []*Container
 	clients    []*cephclient.Client
 	cephFuse   map[*cephclient.Client]*fusefs.Transport
-	mounts     int
+	// fuseDaemons tracks every FUSE daemon the pool runs (ceph-fuse,
+	// unionfs-fuse, danaus-legacy) and kernMounts every kernel mount it
+	// owns — the process inventory a crash domain kills (crash.go).
+	fuseDaemons []*fusefs.Transport
+	kernMounts  []*kern.Mount
+	mounts      int
 }
 
 // Repin changes the pool's core reservation at runtime (§9 dynamic
@@ -154,6 +159,7 @@ func (p *Pool) newKernelMount(spec MountSpec) *kern.Mount {
 		Meter:    meter,
 	})
 	p.Memory.Add(meter)
+	p.kernMounts = append(p.kernMounts, m)
 	return m
 }
 
@@ -169,16 +175,19 @@ func (p *Pool) pagedOver(inner vfsapi.FileSystem, label string) (*kern.Mount, vf
 		Meter:    meter,
 	})
 	p.Memory.Add(meter)
+	p.kernMounts = append(p.kernMounts, m)
 	return m, kern.NewSyscalls(p.tb.Kernel, m)
 }
 
 // fuseOver serves inner through a FUSE daemon owned by the pool.
 func (p *Pool) fuseOver(inner vfsapi.FileSystem, label string) *fusefs.Transport {
-	return fusefs.New(p.tb.Eng, p.tb.CPU, p.tb.Params, inner, fusefs.Config{
+	t := fusefs.New(p.tb.Eng, p.tb.CPU, p.tb.Params, inner, fusefs.Config{
 		Name: fmt.Sprintf("%s.%s%d", p.Name, label, p.mounts),
 		Acct: p.Acct,
 		Mask: p.Mask,
 	})
+	p.fuseDaemons = append(p.fuseDaemons, t)
+	return t
 }
 
 // cephFuseFor returns the single ceph-fuse daemon of a client: there is

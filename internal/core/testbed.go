@@ -45,6 +45,11 @@ type Testbed struct {
 
 	pools   []*Pool
 	stopped bool
+
+	// crashLog records every client crash and its recovery (see
+	// crash.go); entries are pointers so the asynchronous recovery
+	// process can close them in place.
+	crashLog []*CrashEvent
 }
 
 // TestbedConfig sizes the testbed.

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// CrashSweepCase is one point of the crash-sweep family: a client
+// architecture whose client-side component is killed mid-measurement
+// and restarted, while a victim and a bystander tenant run side by
+// side. The sweep is the paper's containment argument as an
+// experiment: a Danaus libservice crash is one tenant's problem, a
+// FUSE daemon crash takes its tenant's whole mount, a kernel-client
+// crash takes the host.
+type CrashSweepCase struct {
+	Label       string
+	Config      core.Configuration
+	Replication int
+	// Kind selects which component dies (DanausCrash, FUSECrash or
+	// HostCrash); the victim pool is always the target for the
+	// tenant-scoped kinds.
+	Kind faults.Kind
+}
+
+// CrashSweepRow is the outcome of one crash-sweep case.
+type CrashSweepRow struct {
+	Label       string
+	Config      core.Configuration
+	Replication int
+	Kind        faults.Kind
+
+	// Victim probes: a fsync-per-append WAL writer plus a sequential
+	// reader in the crashed pool.
+	VictimWriteMBps float64
+	VictimErrors    uint64
+	// Bystander: a cache-resident reader in the second pool. Its error
+	// count is the blast-radius proof — zero for the tenant-scoped
+	// crash kinds, non-zero when the whole host goes down.
+	BystanderMBps   float64
+	BystanderErrors uint64
+
+	// AffectedTenants is the blast radius recorded by the crash domain
+	// (pools whose service was interrupted).
+	AffectedTenants int
+	// QueueShed counts admission waiters evicted at crash time.
+	QueueShed int
+
+	// RecoveryTime is the recovery protocol's duration: scheduled
+	// restart until MDS sessions are reclaimed and mounts are back.
+	RecoveryTime time.Duration
+	// VictimRepair is end-to-end repair as the victim saw it: crash
+	// instant until its first operation completed again.
+	VictimRepair time.Duration
+
+	// DurabilityViolation is acked-but-lost WAL bytes observed through
+	// a fresh post-recovery handle: fsync-acknowledged size minus the
+	// remounted file size, when positive. The contract is zero — a
+	// crash may discard un-synced appends, never acknowledged ones.
+	DurabilityViolation int64
+}
+
+// CrashSweepCases returns the harness sweep: for each of the three
+// architectures, its native crash kind at replication 2, with the
+// outage spanning 30-50% of the measurement window.
+func CrashSweepCases() []CrashSweepCase {
+	return []CrashSweepCase{
+		{Label: "danaus-crash", Config: core.ConfigD, Replication: 2, Kind: faults.DanausCrash},
+		{Label: "fuse-crash", Config: core.ConfigF, Replication: 2, Kind: faults.FUSECrash},
+		{Label: "host-crash", Config: core.ConfigK, Replication: 2, Kind: faults.HostCrash},
+	}
+}
+
+// crashWindow places the outage inside the measurement window.
+func crashWindow(c CrashSweepCase, scale Scale) faults.Window {
+	return faults.Window{
+		Kind:   c.Kind,
+		Tenant: crashTenant(c.Kind),
+		Start:  time.Duration(float64(scale.Duration) * 0.3),
+		End:    time.Duration(float64(scale.Duration) * 0.5),
+	}
+}
+
+func crashTenant(k faults.Kind) string {
+	if k == faults.HostCrash {
+		return ""
+	}
+	return "fls0"
+}
+
+// RunCrashSweep executes one crash-sweep case: victim pool 0 runs a
+// WAL writer and reopens its handle after the crash invalidates it,
+// bystander pool 1 reads a warm file, and the crash window is
+// installed relative to the measurement window.
+func RunCrashSweep(c CrashSweepCase, scale Scale) CrashSweepRow {
+	r := newScaledRig(4, scale)
+	r.tb.Cluster.SetReplication(c.Replication)
+	row := CrashSweepRow{Label: c.Label, Config: c.Config, Replication: c.Replication, Kind: c.Kind}
+
+	_, victim, err := r.flsContainer(0, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+	_, byst, err := r.flsContainer(1, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+
+	const walOp = 64 << 10
+	const warmSize = 16 << 20
+
+	r.runMaster(func(p *sim.Proc) {
+		prepare(p, r.tb.Eng,
+			func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+				h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				if err := h.Close(ctx); err != nil {
+					panic(err)
+				}
+			},
+			func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: byst.NewThread()}
+				h, err := byst.Mount.Default.Open(ctx, "/warm", vfsapi.CREATE|vfsapi.WRONLY)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := h.Append(ctx, warmSize); err != nil {
+					panic(err)
+				}
+				if err := h.Fsync(ctx); err != nil {
+					panic(err)
+				}
+				if err := h.Close(ctx); err != nil {
+					panic(err)
+				}
+			},
+		)
+
+		clock := clockFor(r.tb.Eng, scale)
+		w := crashWindow(c, scale)
+		plan := faults.Plan{Windows: []faults.Window{w}}
+		if _, err := faults.InstallWithTargets(r.tb.Eng, r.tb.Cluster, r.tb, plan, clock.From); err != nil {
+			panic(err)
+		}
+		crashAbs := clock.From + w.Start
+
+		writer := workloads.NewStats()
+		warm := workloads.NewStats()
+		var acked, walSize int64
+		var victimRepaired time.Duration
+
+		g := workloads.NewGroup(r.tb.Eng)
+		g.Go("wal-writer", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/wal", vfsapi.WRONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer func() { h.Close(ctx) }()
+			for !clock.Done() {
+				start := pp.Now()
+				_, werr := h.Append(ctx, walOp)
+				if werr == nil {
+					walSize += walOp
+					werr = h.Fsync(ctx)
+				}
+				now := pp.Now()
+				if werr != nil {
+					if clock.Measuring() {
+						writer.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					// The crash invalidated the handle generation; a fresh
+					// open succeeds once the client is back. The reopened
+					// size discounts whatever appends the crash discarded.
+					if nh, oerr := victim.Mount.Default.Open(ctx, "/wal", vfsapi.WRONLY); oerr == nil {
+						h.Close(ctx)
+						h = nh
+						walSize = nh.Size()
+					}
+					continue
+				}
+				acked = walSize
+				if victimRepaired == 0 && now >= crashAbs {
+					victimRepaired = now - crashAbs
+				}
+				if clock.Measuring() {
+					writer.Record(walOp, now-start)
+				}
+			}
+		})
+		g.Go("bystander", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: byst.NewThread()}
+			h, err := byst.Mount.Default.Open(ctx, "/warm", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer func() { h.Close(ctx) }()
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, 128<<10)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						warm.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					if nh, oerr := byst.Mount.Default.Open(ctx, "/warm", vfsapi.RDONLY); oerr == nil {
+						h.Close(ctx)
+						h = nh
+					}
+				} else if clock.Measuring() {
+					warm.Record(n, now-start)
+				}
+				off += 128 << 10
+				if off >= warmSize {
+					off = 0
+				}
+			}
+		})
+		g.Wait(p)
+
+		// Durability audit through a fresh post-recovery handle: the
+		// remounted WAL must cover every fsync-acknowledged byte.
+		ctx := vfsapi.Ctx{P: p, T: victim.NewThread()}
+		var remount int64
+		if h, oerr := victim.Mount.Default.Open(ctx, "/wal", vfsapi.RDONLY); oerr == nil {
+			remount = h.Size()
+			h.Close(ctx)
+		}
+		if loss := acked - remount; loss > 0 {
+			row.DurabilityViolation = loss
+		}
+
+		window := clock.Window()
+		row.VictimWriteMBps = writer.ThroughputMBps(window)
+		row.VictimErrors = writer.Errors
+		row.BystanderMBps = warm.ThroughputMBps(window)
+		row.BystanderErrors = warm.Errors
+		row.VictimRepair = victimRepaired
+		for _, ev := range r.tb.CrashLog() {
+			row.AffectedTenants += len(ev.Affected)
+			row.QueueShed += ev.QueueShed
+			if ev.Recovered {
+				row.RecoveryTime += ev.RecoveryTime()
+			}
+		}
+	})
+	return row
+}
+
+// CrashRowViolations checks the crash-sweep invariants on one row:
+// the durability contract (no fsync-acknowledged byte lost), recovery
+// completion (the scheduled restart brought the service back), and the
+// paper's blast-radius claim — a Danaus libservice or FUSE daemon
+// crash is one tenant's problem while a kernel-client crash interrupts
+// every pool on the host. It returns human-readable violation
+// descriptions (empty = clean).
+func CrashRowViolations(r CrashSweepRow) []string {
+	var v []string
+	if r.DurabilityViolation > 0 {
+		v = append(v, fmt.Sprintf("crashsweep %s %s: durability violated: %d fsync-acked bytes missing after remount",
+			r.Config, r.Label, r.DurabilityViolation))
+	}
+	if r.RecoveryTime <= 0 {
+		v = append(v, fmt.Sprintf("crashsweep %s %s: recovery never completed", r.Config, r.Label))
+	}
+	if r.VictimErrors == 0 {
+		v = append(v, fmt.Sprintf("crashsweep %s %s: crash window had no effect: victim saw zero errors", r.Config, r.Label))
+	}
+	switch r.Kind {
+	case faults.DanausCrash, faults.FUSECrash:
+		if r.AffectedTenants != 1 {
+			v = append(v, fmt.Sprintf("crashsweep %s %s: blast radius violated: %d tenants affected, want 1",
+				r.Config, r.Label, r.AffectedTenants))
+		}
+		if r.BystanderErrors != 0 {
+			v = append(v, fmt.Sprintf("crashsweep %s %s: containment violated: bystander saw %d errors",
+				r.Config, r.Label, r.BystanderErrors))
+		}
+	case faults.HostCrash:
+		if r.AffectedTenants != 2 {
+			v = append(v, fmt.Sprintf("crashsweep %s %s: blast radius violated: %d tenants affected, want 2 (whole host)",
+				r.Config, r.Label, r.AffectedTenants))
+		}
+		if r.BystanderErrors == 0 {
+			v = append(v, fmt.Sprintf("crashsweep %s %s: host crash did not interrupt the bystander", r.Config, r.Label))
+		}
+	}
+	return v
+}
+
+// String renders a row for the harness.
+func (r CrashSweepRow) String() string {
+	return fmt.Sprintf("%-4s r=%d %-13s wal %6.1f MB/s err=%-4d byst %6.1f MB/s err=%-4d affected=%d shed=%-3d recover=%-10v repair=%-10v loss=%d",
+		r.Config, r.Replication, r.Label,
+		r.VictimWriteMBps, r.VictimErrors,
+		r.BystanderMBps, r.BystanderErrors,
+		r.AffectedTenants, r.QueueShed,
+		r.RecoveryTime, r.VictimRepair, r.DurabilityViolation)
+}

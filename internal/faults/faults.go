@@ -13,8 +13,17 @@
 //	net-drop:<osd>:<every>:<start>-<end>
 //	net-partition:<osd>:<start>-<end>
 //	mds-stall:<start>-<end>
+//	danaus-crash:<tenant>:<start>-<end>
+//	fuse-crash:<tenant>:<start>-<end>
+//	host-crash:<start>-<end>
 //
 // entries separated by ';', durations in Go syntax (e.g. "500ms").
+// The three client crash kinds kill a client-side component at Start
+// and restart it at End: danaus-crash a single tenant's user-level
+// library service, fuse-crash a FUSE daemon (taking down every tenant
+// mounted through it), host-crash the shared kernel client (every
+// tenant on the host). They require crash targets (InstallWithTargets)
+// because the affected components live above the cluster.
 // Packet loss and partitions target OSD links only: the metadata path
 // may stall but never loses messages, which keeps non-idempotent
 // metadata operations (create, rename) exactly-once without a
@@ -50,6 +59,15 @@ const (
 	NetPartition
 	// MDSStall freezes metadata processing.
 	MDSStall
+	// DanausCrash kills one tenant's user-level library service at
+	// Start and restarts it (cold cache, MDS session reclaim) at End.
+	DanausCrash
+	// FUSECrash kills a FUSE daemon — and with it every tenant mounted
+	// through that daemon — at Start, restarting it at End.
+	FUSECrash
+	// HostCrash kills the shared kernel client: every tenant on the
+	// host loses its kernel mounts until the restart at End.
+	HostCrash
 )
 
 var kindNames = map[Kind]string{
@@ -59,6 +77,15 @@ var kindNames = map[Kind]string{
 	NetDrop:      "net-drop",
 	NetPartition: "net-partition",
 	MDSStall:     "mds-stall",
+	DanausCrash:  "danaus-crash",
+	FUSECrash:    "fuse-crash",
+	HostCrash:    "host-crash",
+}
+
+// ClientCrash reports whether the kind is one of the client-side crash
+// faults, which need crash targets rather than cluster state to apply.
+func (k Kind) ClientCrash() bool {
+	return k == DanausCrash || k == FUSECrash || k == HostCrash
 }
 
 // String returns the schedule-syntax name of the kind.
@@ -88,12 +115,18 @@ type Window struct {
 	// DropEvery is the loss period for NetDrop windows (every Nth
 	// message on the link is lost).
 	DropEvery uint64
+	// Tenant names the crashed pool for DanausCrash and FUSECrash
+	// windows. Empty (and ignored) for every other kind — HostCrash
+	// takes the whole host down, so it has no per-tenant target.
+	Tenant string
 }
 
 func (w Window) String() string {
 	target := ""
 	switch {
-	case w.Kind == MDSStall:
+	case w.Kind == MDSStall || w.Kind == HostCrash:
+	case w.Kind == DanausCrash || w.Kind == FUSECrash:
+		target = ":" + w.Tenant
 	case w.OSD == ClientNIC:
 		target = ":client"
 	default:
@@ -147,7 +180,11 @@ func (p Plan) Validate(nOSDs int) error {
 			if w.OSD != ClientNIC && (w.OSD < 0 || w.OSD >= nOSDs) {
 				return fmt.Errorf("faults: window %d (%v): no such target", i, w)
 			}
-		case MDSStall:
+		case MDSStall, HostCrash:
+		case DanausCrash, FUSECrash:
+			if w.Tenant == "" {
+				return fmt.Errorf("faults: window %d (%v): missing tenant", i, w)
+			}
 		default:
 			return fmt.Errorf("faults: window %d: unknown kind %d", i, int(w.Kind))
 		}
@@ -159,7 +196,8 @@ func (p Plan) Validate(nOSDs int) error {
 		}
 		for j := 0; j < i; j++ {
 			o := p.Windows[j]
-			if o.Kind == w.Kind && o.OSD == w.OSD && w.Start < o.End && o.Start < w.End {
+			if o.Kind == w.Kind && o.OSD == w.OSD && o.Tenant == w.Tenant &&
+				w.Start < o.End && o.Start < w.End {
 				return fmt.Errorf("faults: windows %d and %d overlap on the same target", j, i)
 			}
 		}
@@ -176,6 +214,24 @@ type Event struct {
 	Armed  bool // true = armed, false = disarmed
 }
 
+// CrashTarget is one crashable client-side component (a tenant's
+// user-level client, a FUSE daemon plus its client, or the kernel
+// client of the whole host). Crash kills it — dropping un-synced dirty
+// state and failing in-flight and future operations deterministically —
+// and Restart brings it back cold and runs its recovery protocol.
+type CrashTarget interface {
+	Crash()
+	Restart()
+}
+
+// CrashTargets resolves a crash window to the component it kills. The
+// tenant argument is empty for HostCrash. Implemented by the testbed
+// (core.Testbed.CrashTargets), which knows which pools exist and how
+// their clients are stacked.
+type CrashTargets interface {
+	CrashTarget(kind Kind, tenant string) (CrashTarget, error)
+}
+
 // Injector is an installed plan: it holds the scheduled transitions
 // and logs each one as it fires.
 type Injector struct {
@@ -187,19 +243,51 @@ type Injector struct {
 // window times interpreted relative to offset (an absolute virtual
 // time, typically the start of an experiment's measurement window).
 // The plan is validated first; an empty plan installs nothing and
-// perturbs nothing.
+// perturbs nothing. Plans containing client crash windows need
+// InstallWithTargets.
 func Install(eng *sim.Engine, clus *cluster.Cluster, plan Plan, offset time.Duration) (*Injector, error) {
+	return InstallWithTargets(eng, clus, nil, plan, offset)
+}
+
+// InstallWithTargets is Install plus a crash-target resolver for the
+// client crash kinds. Targets are resolved at install time, so a
+// schedule naming an unknown tenant fails immediately rather than
+// mid-run. A nil resolver rejects plans containing crash windows.
+func InstallWithTargets(eng *sim.Engine, clus *cluster.Cluster, targets CrashTargets, plan Plan, offset time.Duration) (*Injector, error) {
 	if err := plan.Validate(len(clus.OSDs())); err != nil {
 		return nil, err
 	}
 	in := &Injector{clus: clus}
 	now := eng.Now()
-	for _, w := range plan.Windows {
+	for i, w := range plan.Windows {
 		w := w
+		if w.Kind.ClientCrash() {
+			if targets == nil {
+				return nil, fmt.Errorf("faults: window %d (%v): client crash needs InstallWithTargets", i, w)
+			}
+			tgt, err := targets.CrashTarget(w.Kind, w.Tenant)
+			if err != nil {
+				return nil, fmt.Errorf("faults: window %d (%v): %w", i, w, err)
+			}
+			eng.After(offset+w.Start-now, func() { in.applyCrash(eng, w, tgt, true) })
+			eng.After(offset+w.End-now, func() { in.applyCrash(eng, w, tgt, false) })
+			continue
+		}
 		eng.After(offset+w.Start-now, func() { in.apply(eng, w, true) })
 		eng.After(offset+w.End-now, func() { in.apply(eng, w, false) })
 	}
 	return in, nil
+}
+
+// applyCrash fires one crash or restart transition on a resolved
+// client-side target.
+func (in *Injector) applyCrash(eng *sim.Engine, w Window, tgt CrashTarget, arm bool) {
+	in.events = append(in.events, Event{At: eng.Now(), Window: w, Armed: arm})
+	if arm {
+		tgt.Crash()
+	} else {
+		tgt.Restart()
+	}
 }
 
 // Log returns the transitions performed so far, in firing order.
@@ -281,18 +369,34 @@ func parseWindow(entry string) (Window, error) {
 		w.Kind = NetPartition
 	case "mds-stall":
 		w.Kind = MDSStall
+	case "danaus-crash":
+		w.Kind = DanausCrash
+	case "fuse-crash":
+		w.Kind = FUSECrash
+	case "host-crash":
+		w.Kind = HostCrash
 	default:
 		return bad("unknown fault kind")
 	}
 	want := map[Kind]int{
 		OSDCrash: 3, OSDDegrade: 4, NetLatency: 4,
 		NetDrop: 4, NetPartition: 3, MDSStall: 2,
+		DanausCrash: 3, FUSECrash: 3, HostCrash: 2,
 	}[w.Kind]
 	if len(fields) != want {
 		return bad(fmt.Sprintf("want %d fields, got %d", want, len(fields)))
 	}
 	arg := 1
-	if w.Kind != MDSStall {
+	switch {
+	case w.Kind == MDSStall || w.Kind == HostCrash:
+	case w.Kind == DanausCrash || w.Kind == FUSECrash:
+		tenant := fields[arg]
+		if tenant == "" || strings.ContainsAny(tenant, ";- ") {
+			return bad("bad tenant id")
+		}
+		w.Tenant = tenant
+		arg++
+	default:
 		if w.Kind == NetLatency && fields[arg] == "client" {
 			w.OSD = ClientNIC
 		} else {

@@ -51,6 +51,43 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// Round trip of the three client-crash kinds: parse -> String ->
+// reparse must be the identity, tenants land on the right field, and
+// the host kind carries none.
+func TestParseCrashRoundTrip(t *testing.T) {
+	in := "danaus-crash:fls0:100ms-200ms;fuse-crash:web1:50ms-150ms;host-crash:300ms-400ms"
+	p, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Kind: DanausCrash, Tenant: "fls0", Start: 100 * time.Millisecond, End: 200 * time.Millisecond},
+		{Kind: FUSECrash, Tenant: "web1", Start: 50 * time.Millisecond, End: 150 * time.Millisecond},
+		{Kind: HostCrash, Start: 300 * time.Millisecond, End: 400 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(p.Windows, want) {
+		t.Fatalf("parsed windows:\n  %+v\nwant:\n  %+v", p.Windows, want)
+	}
+	for _, w := range p.Windows {
+		if !w.Kind.ClientCrash() {
+			t.Fatalf("window %v not classified as a client crash", w)
+		}
+	}
+	if p.String() != in {
+		t.Fatalf("String() = %q, want %q", p.String(), in)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed the plan:\n  %v\n  %v", p, p2)
+	}
+	if err := p.Validate(6); err != nil {
+		t.Fatalf("valid crash plan rejected: %v", err)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, s := range []string{
 		"flood:1:1s-2s",              // unknown kind

@@ -28,6 +28,15 @@ func TestParseErrorMessages(t *testing.T) {
 		{"osd-crash:1:soon-2s", "bad window start"},
 		{"osd-crash:1:1s-later", "bad window end"},
 		{"osd-crash:1:1s-2s;flood:0:1s-2s", "unknown fault kind"},
+		{"danaus-crash:1s-2s", "want 3 fields, got 2"}, // tenant missing entirely
+		{"danaus-crash::1s-2s", "bad tenant id"},       // empty tenant
+		{"danaus-crash:a b:1s-2s", "bad tenant id"},    // space in tenant
+		{"fuse-crash:fls-0:1s-2s", "bad tenant id"},    // '-' would corrupt String round trips
+		{"fuse-crash:fls0:1s-2s:extra", "want 3 fields, got 4"},
+		{"host-crash:fls0:1s-2s", "want 2 fields, got 3"}, // host crash takes no tenant
+		{"host-crash:1s2s", "bad window, want start-end"},
+		{"danaus-crash:fls0:soon-2s", "bad window start"},
+		{"fuse-crash:fls0:1s-later", "bad window end"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -58,6 +67,36 @@ func TestParseEdges(t *testing.T) {
 	}
 	if _, err := Parse("flood:1:1s-2s;osd-crash:1:1s-2s"); err == nil {
 		t.Error("bad first entry masked by a good second one")
+	}
+}
+
+// Crash windows carry their restart inside the window (crash at Start,
+// restart at End): a restart scheduled before the crash, a tenant-less
+// tenant crash, and overlapping outages of the same target must all be
+// rejected before installation.
+func TestValidateRejectsBadCrashWindows(t *testing.T) {
+	mk := func(ws ...Window) Plan { return Plan{Windows: ws} }
+	for name, p := range map[string]Plan{
+		"restart before crash": mk(Window{Kind: DanausCrash, Tenant: "fls0", Start: 2 * time.Second, End: time.Second}),
+		"restart at crash":     mk(Window{Kind: FUSECrash, Tenant: "fls0", Start: time.Second, End: time.Second}),
+		"missing tenant":       mk(Window{Kind: DanausCrash, Start: 0, End: time.Second}),
+		"host restart early":   mk(Window{Kind: HostCrash, Start: time.Second, End: time.Millisecond}),
+		"overlapping outages": mk(
+			Window{Kind: DanausCrash, Tenant: "fls0", Start: 0, End: time.Second},
+			Window{Kind: DanausCrash, Tenant: "fls0", Start: 500 * time.Millisecond, End: 2 * time.Second},
+		),
+	} {
+		if err := p.Validate(6); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The same outage on two different tenants may overlap.
+	ok := mk(
+		Window{Kind: DanausCrash, Tenant: "fls0", Start: 0, End: time.Second},
+		Window{Kind: DanausCrash, Tenant: "fls1", Start: 0, End: time.Second},
+	)
+	if err := ok.Validate(6); err != nil {
+		t.Fatalf("distinct-tenant overlap rejected: %v", err)
 	}
 }
 

@@ -35,6 +35,11 @@ type Transport struct {
 	// is what collapses stacked-FUSE configurations when many cloned
 	// containers share one ceph-fuse process.
 	slots *sim.Resource
+
+	// crashed marks a dead daemon process: requests on the FUSE channel
+	// fail with vfsapi.ErrCrashed — the transport error every tenant
+	// mounted through this daemon sees — until Restart.
+	crashed bool
 }
 
 // Config configures the daemon side of a FUSE mount.
@@ -70,6 +75,21 @@ func New(eng *sim.Engine, cpus *cpu.CPU, params *model.Params, inner vfsapi.File
 // Inner returns the filesystem served by the daemon.
 func (t *Transport) Inner() vfsapi.FileSystem { return t.inner }
 
+// Crash kills the daemon process: every request on the FUSE channel —
+// in flight past the syscall entry or issued later — fails with
+// vfsapi.ErrCrashed until Restart. The blast radius is every tenant
+// mounted through this daemon, which is the paper's argument against
+// sharing one ceph-fuse process across containers.
+func (t *Transport) Crash() { t.crashed = true }
+
+// Restart brings a fresh daemon process up on the existing mount. The
+// daemon itself is stateless here (its caches live in the inner client,
+// which recovers separately), so restart is immediate.
+func (t *Transport) Restart() { t.crashed = false }
+
+// Crashed reports whether the daemon is dead.
+func (t *Transport) Crashed() bool { return t.crashed }
+
 // crossing performs one FUSE round trip: syscall entry, request
 // queueing, switch to the daemon, daemon-side execution of fn, switch
 // back, and syscall exit. payloadIn/payloadOut are the extra data
@@ -77,6 +97,16 @@ func (t *Transport) Inner() vfsapi.FileSystem { return t.inner }
 func (t *Transport) crossing(ctx vfsapi.Ctx, payloadIn, payloadOut int64, fn func(dctx vfsapi.Ctx) error) error {
 	defer ctx.Span.Enter(obs.LayerFUSE).Exit()
 	p := t.params
+	if t.crashed {
+		// The kernel aborts requests on a dead FUSE connection at the
+		// syscall boundary (ENOTCONN in real life) — no daemon round
+		// trip, but the aborted syscall still costs its kernel entry,
+		// which keeps erroring loops moving in simulated time.
+		ctx.T.ModeSwitch(ctx.P)
+		ctx.T.Exec(ctx.P, cpu.Kernel, p.FUSERequestOverhead)
+		ctx.T.ModeSwitch(ctx.P)
+		return vfsapi.ErrCrashed
+	}
 	// Application enters the kernel and hands the request to FUSE.
 	ctx.T.ModeSwitch(ctx.P)
 	ctx.T.Exec(ctx.P, cpu.Kernel, p.FUSERequestOverhead)
@@ -90,6 +120,10 @@ func (t *Transport) crossing(ctx vfsapi.Ctx, payloadIn, payloadOut int64, fn fun
 	// copy out of the kernel, and serve it at user level.
 	t.slots.Acquire(ctx.P, 1)
 	defer t.slots.Release(1)
+	if t.crashed {
+		// The daemon died while the request sat in the FUSE queue.
+		return vfsapi.ErrCrashed
+	}
 	dth := t.daemonThreads[t.next%len(t.daemonThreads)]
 	t.next++
 	dctx := vfsapi.Ctx{P: ctx.P, T: dth, Span: ctx.Span}

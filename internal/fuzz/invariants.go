@@ -45,7 +45,40 @@ func Checkers() []Checker {
 		{Name: "fault-accounting", Check: checkFaultAccounting},
 		{Name: "bounded-queue", Check: checkBoundedQueue},
 		{Name: "admission-accounting", Check: checkAdmissionAccounting},
+		{Name: "crash-consistency", Check: checkCrashConsistency},
 	}
+}
+
+// checkCrashConsistency: a scheduled client crash must actually happen
+// and recover, and the durability contract must hold across it — the
+// WAL size visible through a fresh post-recovery handle covers every
+// byte fsync acknowledged. Un-synced appends may vanish (that is the
+// crash model), but acknowledged data may not.
+func checkCrashConsistency(o *Outcome) []string {
+	if o.Scenario.Crash == "" {
+		return nil
+	}
+	var out []string
+	for _, lr := range o.runs() {
+		label, r := lr.label, lr.res
+		if r.CrashEvents == 0 {
+			out = append(out, fmt.Sprintf("%s: crash scheduled (%s) but no crash event recorded",
+				label, o.Scenario.Crash))
+			continue
+		}
+		if r.CrashRecovered != r.CrashEvents {
+			out = append(out, fmt.Sprintf("%s: %d crash(es) but only %d recovered",
+				label, r.CrashEvents, r.CrashRecovered))
+		}
+		if r.CrashAffected == 0 {
+			out = append(out, fmt.Sprintf("%s: crash event with empty blast radius", label))
+		}
+		if r.RemountSize < r.AckedBytes {
+			out = append(out, fmt.Sprintf("%s: remounted WAL is %d bytes but fsync acknowledged %d (lost %d acked bytes)",
+				label, r.RemountSize, r.AckedBytes, r.AckedBytes-r.RemountSize))
+		}
+	}
+	return out
 }
 
 // checkBoundedQueue: no pool's admission queue may ever exceed its
@@ -197,10 +230,16 @@ func IsolationBound(sc Scenario, solo time.Duration) time.Duration {
 	return bound
 }
 
-// scheduledFaultTime sums the scenario's fault window lengths.
+// scheduledFaultTime sums the scenario's fault window lengths,
+// including the crash window — a crashed client is down (and its
+// recovery cold) for at least that long.
 func scheduledFaultTime(sc Scenario) time.Duration {
+	entries := sc.ScheduleWindows()
+	if sc.Crash != "" {
+		entries = append(entries, sc.Crash)
+	}
 	var total time.Duration
-	for _, entry := range sc.ScheduleWindows() {
+	for _, entry := range entries {
 		span := entry[strings.LastIndex(entry, ":")+1:]
 		start, end, ok := strings.Cut(span, "-")
 		if !ok {
@@ -237,15 +276,16 @@ func checkIsolation(o *Outcome) []string {
 	return out
 }
 
-// checkFaultAccounting: without a fault schedule no fault-handling
-// activity may be counted, and the registry's harvested per-tenant
-// fault aggregate must equal the direct per-mount sum (each shared
-// client or kernel mount counted exactly once).
+// checkFaultAccounting: without a fault schedule (and without a crash,
+// whose recovery retries are legitimate) no fault-handling activity may
+// be counted, and the registry's harvested per-tenant fault aggregate
+// must equal the direct per-mount sum (each shared client or kernel
+// mount counted exactly once).
 func checkFaultAccounting(o *Outcome) []string {
 	var out []string
 	for _, lr := range o.runs() {
 		label, r := lr.label, lr.res
-		if o.Scenario.Schedule == "" && r.Faults != (metrics.FaultCounters{}) {
+		if o.Scenario.Schedule == "" && o.Scenario.Crash == "" && r.Faults != (metrics.FaultCounters{}) {
 			out = append(out, fmt.Sprintf("%s: fault counters without a schedule: %+v", label, r.Faults))
 		}
 		if r.RegistryFaults != r.Faults {

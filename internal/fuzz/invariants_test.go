@@ -174,6 +174,53 @@ func TestCheckerFiresOnResidualInFlight(t *testing.T) {
 	only(t, o, "admission-accounting")
 }
 
+// crashedOutcome decorates the clean outcome with a scheduled crash and
+// the matching evidence: one recorded, recovered event with a non-empty
+// blast radius, and a remounted WAL covering every acked byte.
+func crashedOutcome() *Outcome {
+	o := cleanOutcome()
+	o.Scenario.Crash = "danaus-crash:victim:10ms-20ms"
+	for _, r := range []*Result{o.Full, o.Replay, o.Solo} {
+		r.CrashEvents = 1
+		r.CrashRecovered = 1
+		r.CrashAffected = 1
+		r.RemountSize = r.AckedBytes
+	}
+	return o
+}
+
+func TestCleanCrashOutcomePassesAllCheckers(t *testing.T) {
+	if vs := CheckAll(crashedOutcome()); len(vs) != 0 {
+		t.Fatalf("clean crash outcome violates: %v", vs)
+	}
+}
+
+func TestCheckerFiresOnMissingCrashEvent(t *testing.T) {
+	o := crashedOutcome()
+	o.Full.CrashEvents = 0
+	only(t, o, "crash-consistency")
+}
+
+func TestCheckerFiresOnUnrecoveredCrash(t *testing.T) {
+	o := crashedOutcome()
+	o.Replay.CrashRecovered = 0
+	only(t, o, "crash-consistency")
+}
+
+func TestCheckerFiresOnEmptyBlastRadius(t *testing.T) {
+	o := crashedOutcome()
+	o.Solo.CrashAffected = 0
+	only(t, o, "crash-consistency")
+}
+
+func TestCheckerFiresOnAckedBytesLostAcrossCrash(t *testing.T) {
+	o := crashedOutcome()
+	// The durability-contract bug: the remounted WAL is shorter than
+	// what fsync acknowledged before the crash.
+	o.Full.RemountSize = o.Full.AckedBytes - 4096
+	only(t, o, "crash-consistency")
+}
+
 // Every checker in the registry must be exercised by a mutation above;
 // this guards against registering a new invariant without a dead-oracle
 // test.
@@ -187,6 +234,7 @@ func TestEveryCheckerHasAMutation(t *testing.T) {
 		"fault-accounting":     true,
 		"bounded-queue":        true,
 		"admission-accounting": true,
+		"crash-consistency":    true,
 	}
 	for _, c := range Checkers() {
 		if !covered[c.Name] {

@@ -47,6 +47,16 @@ type Result struct {
 	// pool creation order (empty unless the scenario has an AdmitQueue).
 	Admission []TenantAdmission
 
+	// Crash dimension evidence (zero values unless the scenario
+	// schedules a client crash): events observed, events whose recovery
+	// completed, pools interrupted summed over events, and the /wal size
+	// visible through a fresh post-recovery handle (the remounted fsync
+	// frontier the crash-consistency checker compares with AckedBytes).
+	CrashEvents    int
+	CrashRecovered int
+	CrashAffected  int
+	RemountSize    int64
+
 	// Faults sums the victim pool's client fault counters, counting
 	// each shared client or kernel mount exactly once.
 	Faults metrics.FaultCounters
@@ -297,13 +307,20 @@ func RunScenario(sc Scenario, solo bool) *Result {
 			panic(err)
 		}
 		walIno := walNode.Ino
-		sched := strings.ReplaceAll(sc.Schedule, "@wal",
+		sched := sc.Schedule
+		if sc.Crash != "" {
+			if sched != "" {
+				sched += ";"
+			}
+			sched += sc.Crash
+		}
+		sched = strings.ReplaceAll(sched, "@wal",
 			strconv.Itoa(tb.Cluster.PlacementOf(walIno, 0)))
 		plan, err := faults.Parse(sched)
 		if err != nil {
 			panic(err)
 		}
-		if _, err := faults.Install(tb.Eng, tb.Cluster, plan, clock.From); err != nil {
+		if _, err := faults.InstallWithTargets(tb.Eng, tb.Cluster, tb, plan, clock.From); err != nil {
 			panic(err)
 		}
 
@@ -318,7 +335,7 @@ func RunScenario(sc Scenario, solo bool) *Result {
 			if err != nil {
 				panic(err)
 			}
-			defer h.Close(ctx)
+			defer func() { h.Close(ctx) }()
 			for !clock.Done() {
 				start := pp.Now()
 				_, werr := h.Append(ctx, walOp)
@@ -331,6 +348,17 @@ func RunScenario(sc Scenario, solo bool) *Result {
 						writer.Errors++
 					}
 					pp.Sleep(time.Millisecond)
+					// A crashed client invalidates its handles forever
+					// (replayable remount); recovery means reopening. The
+					// reopened size discounts appends the crash discarded,
+					// so the acked frontier never counts lost bytes.
+					if sc.Crash != "" {
+						if nh, oerr := victim.Mount.Default.Open(ctx, "/wal", vfsapi.WRONLY); oerr == nil {
+							h.Close(ctx)
+							h = nh
+							walSize = nh.Size()
+						}
+					}
 					continue
 				}
 				// A successful fsync drained every dirty WAL extent, so
@@ -347,7 +375,7 @@ func RunScenario(sc Scenario, solo bool) *Result {
 			if err != nil {
 				panic(err)
 			}
-			defer h.Close(ctx)
+			defer func() { h.Close(ctx) }()
 			var off int64
 			for !clock.Done() {
 				start := pp.Now()
@@ -357,6 +385,12 @@ func RunScenario(sc Scenario, solo bool) *Result {
 						reader.Errors++
 					}
 					pp.Sleep(time.Millisecond)
+					if sc.Crash != "" {
+						if nh, oerr := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY); oerr == nil {
+							h.Close(ctx)
+							h = nh
+						}
+					}
 				} else if clock.Measuring() {
 					reader.Record(n, pp.Now()-start)
 				}
@@ -406,6 +440,17 @@ func RunScenario(sc Scenario, solo bool) *Result {
 			p.Sleep(settle - tb.Eng.Now())
 		}
 
+		// Post-recovery remount evidence: a fresh handle on the WAL after
+		// every crash window has restarted shows the durable frontier an
+		// application would see on reopen.
+		if sc.Crash != "" {
+			ctx := vfsapi.Ctx{P: p, T: victim.NewThread()}
+			if h, oerr := victim.Mount.Default.Open(ctx, "/wal", vfsapi.RDONLY); oerr == nil {
+				res.RemountSize = h.Size()
+				h.Close(ctx)
+			}
+		}
+
 		res.WriteOps = writer.Ops.Ops
 		res.ReadOps = reader.Ops.Ops
 		res.Errors = writer.Errors + reader.Errors
@@ -422,6 +467,14 @@ func RunScenario(sc Scenario, solo bool) *Result {
 		}
 	})
 	tb.Eng.Run()
+
+	for _, ev := range tb.CrashLog() {
+		res.CrashEvents++
+		if ev.Recovered {
+			res.CrashRecovered++
+		}
+		res.CrashAffected += len(ev.Affected)
+	}
 
 	// Admission counters are final once the engine drains; pool order is
 	// creation order, so the snapshot list is deterministic.
@@ -483,6 +536,10 @@ func (r *Result) summaryLine() string {
 		}
 		s += fmt.Sprintf(" ol=%d/%d/%d/%d adm=%d/%d/%d maxq=%d",
 			r.OLOffered, r.OLCompleted, r.OLShed, r.OLFailed, off, adm, shed, maxq)
+	}
+	if r.CrashEvents > 0 {
+		s += fmt.Sprintf(" crash=%d/%d aff=%d remount=%d",
+			r.CrashEvents, r.CrashRecovered, r.CrashAffected, r.RemountSize)
 	}
 	return s
 }

@@ -64,6 +64,12 @@ type Scenario struct {
 	// policy with this admission queue cap (bounded queues, circuit
 	// breakers, brownout).
 	AdmitQueue int
+	// Crash, when non-empty, is one client-crash fault entry
+	// ("danaus-crash:victim:10ms-20ms", "fuse-crash:...", "host-crash:...")
+	// installed alongside Schedule — the crash dimension. The victim's
+	// probes reopen their handles after the crash, and the
+	// crash-consistency checker verifies the durability contract.
+	Crash string
 }
 
 // tenantWorkloads are the generator's workload vocabulary.
@@ -144,6 +150,25 @@ func Generate(baseSeed int64, index int) Scenario {
 		sc.OfferedLoad = pick(r, []int{400, 800, 1600})
 		sc.AdmitQueue = pick(r, []int{4, 8, 16})
 	}
+
+	// Crash dimension, drawn after overload (again: new draws come last
+	// so historical scenarios keep their shape): one client-crash window
+	// matched to the architecture under test — the Danaus libservice for
+	// D, the FUSE daemon for configurations mounted through one, the
+	// whole host for the kernel client.
+	if r.chance(1, 4) {
+		start := pctOf(sc.Duration, 10+r.intn(40))
+		down := pctOf(sc.Duration, 10+r.intn(20))
+		span := fmt.Sprintf("%v-%v", start, start+down)
+		switch {
+		case sc.Config == core.ConfigD:
+			sc.Crash = "danaus-crash:victim:" + span
+		case sc.Config.UserLevelClient():
+			sc.Crash = "fuse-crash:victim:" + span
+		default:
+			sc.Crash = "host-crash:" + span
+		}
+	}
 	return sc
 }
 
@@ -171,9 +196,13 @@ func (sc Scenario) String() string {
 	if sc.OfferedLoad > 0 || sc.AdmitQueue > 0 {
 		overload = fmt.Sprintf(" ol=%d/q%d", sc.OfferedLoad, sc.AdmitQueue)
 	}
-	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s",
+	crash := ""
+	if sc.Crash != "" {
+		crash = " crash=" + sc.Crash
+	}
+	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s%s",
 		sc.Config, sc.Replication, shared, sc.CacheFrac, sc.Factor,
-		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload)
+		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload, crash)
 }
 
 // configNames maps Table 1 symbols to configurations for spec parsing.
@@ -224,6 +253,9 @@ func WriteSpec(w io.Writer, sc Scenario, header ...string) error {
 	if sc.AdmitQueue > 0 {
 		fmt.Fprintf(bw, "admitq=%d\n", sc.AdmitQueue)
 	}
+	if sc.Crash != "" {
+		fmt.Fprintf(bw, "crash=%s\n", sc.Crash)
+	}
 	for _, t := range sc.Tenants {
 		fmt.Fprintf(bw, "tenant=%s:%d\n", t.Workload, t.Threads)
 	}
@@ -269,6 +301,8 @@ func ParseSpec(r io.Reader) (Scenario, error) {
 			sc.OfferedLoad, err = strconv.Atoi(val)
 		case "admitq":
 			sc.AdmitQueue, err = strconv.Atoi(val)
+		case "crash":
+			sc.Crash = val
 		case "tenant":
 			name, threads, ok := strings.Cut(val, ":")
 			if !ok {

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"fmt"
 	"strings"
 	"time"
 )
@@ -80,6 +81,44 @@ func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
 				}
 			}
 		}
+		// Event-level minimization: halve each surviving window's span in
+		// place (entries stay textual so "@wal" placeholders survive). A
+		// reproducer with a 40ms OSD outage that still fails with 20ms is
+		// a faster, sharper artifact.
+		windows = cur.ScheduleWindows()
+		for i := range windows {
+			short, ok := halveSpan(windows[i])
+			if !ok {
+				continue
+			}
+			next := append([]string{}, windows...)
+			next[i] = short
+			cand := cur
+			cand.Schedule = strings.Join(next, ";")
+			if still(cand) {
+				cur = cand
+				windows = cand.ScheduleWindows()
+				improved = true
+			}
+		}
+
+		// The crash dimension shrinks like any other fault event: drop it
+		// if the failure survives without it, else halve its downtime.
+		if cur.Crash != "" {
+			cand := cur
+			cand.Crash = ""
+			if still(cand) {
+				cur = cand
+				improved = true
+			} else if short, ok := halveSpan(cur.Crash); ok {
+				cand = cur
+				cand.Crash = short
+				if still(cand) {
+					cur = cand
+					improved = true
+				}
+			}
+		}
 
 		// Reduce tenant thread counts to one.
 		for i := range cur.Tenants {
@@ -136,4 +175,31 @@ func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
 		}
 	}
 	return cur
+}
+
+// halveSpan rewrites a fault entry's trailing "start-end" span to cover
+// only the first half of its duration, leaving everything before the
+// last ':' (kind, target, "@wal" placeholders) untouched. Returns false
+// when the entry has no parseable span or the span is already too short
+// to split cleanly.
+func halveSpan(entry string) (string, bool) {
+	idx := strings.LastIndex(entry, ":")
+	if idx < 0 {
+		return "", false
+	}
+	prefix, span := entry[:idx+1], entry[idx+1:]
+	startStr, endStr, ok := strings.Cut(span, "-")
+	if !ok {
+		return "", false
+	}
+	start, err1 := time.ParseDuration(startStr)
+	end, err2 := time.ParseDuration(endStr)
+	if err1 != nil || err2 != nil {
+		return "", false
+	}
+	half := (end - start) / 2
+	if half < time.Millisecond {
+		return "", false
+	}
+	return fmt.Sprintf("%s%v-%v", prefix, start, start+half), true
 }

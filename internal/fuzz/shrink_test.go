@@ -80,6 +80,78 @@ func TestShrinkTracksNamedChecker(t *testing.T) {
 	}
 }
 
+func TestHalveSpan(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"osd-crash:@wal:10ms-30ms", "osd-crash:@wal:10ms-20ms", true},
+		{"mds-stall:60ms-70ms", "mds-stall:60ms-65ms", true},
+		{"net-spike:client:1ms:30ms-50ms", "net-spike:client:1ms:30ms-40ms", true},
+		{"host-crash:12ms-14ms", "host-crash:12ms-13ms", true},
+		{"host-crash:12ms-13ms", "", false}, // 500µs half is below the floor
+		{"nonsense", "", false},
+		{"mds-stall:garbage-span", "", false},
+	}
+	for _, c := range cases {
+		got, ok := halveSpan(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("halveSpan(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// A crash entry the failure does not depend on must be dropped outright.
+func TestShrinkDropsIrrelevantCrash(t *testing.T) {
+	sc := knownBad()
+	sc.Crash = "fuse-crash:victim:40ms-80ms"
+	evals := 0
+	min := Shrink(sc, "blame-sum", spikeOracle(&evals), 200)
+	if min.Crash != "" {
+		t.Errorf("shrunk scenario keeps irrelevant crash %q", min.Crash)
+	}
+	if !strings.Contains(min.Schedule, "net-spike") {
+		t.Errorf("shrunk schedule %q lost the failing ingredient", min.Schedule)
+	}
+}
+
+// When the crash itself is the failing ingredient the shrinker must keep
+// it but minimize everything else — including the crash downtime,
+// event-by-event, down to the span floor.
+func TestShrinkMinimizesCrashEvent(t *testing.T) {
+	sc := knownBad()
+	sc.Crash = "fuse-crash:victim:40ms-80ms"
+	oracle := func(c Scenario) []Violation {
+		if c.Crash != "" {
+			return []Violation{{Checker: "crash-consistency", Detail: "synthetic"}}
+		}
+		return nil
+	}
+	min := Shrink(sc, "crash-consistency", oracle, 300)
+	if min.Crash == "" {
+		t.Fatal("shrinker dropped the crash the failure depends on")
+	}
+	if min.Schedule != "" {
+		t.Errorf("shrunk scenario keeps fault schedule %q", min.Schedule)
+	}
+	if len(min.Tenants) != 0 {
+		t.Errorf("shrunk scenario keeps %d tenants", len(min.Tenants))
+	}
+	before := scheduledFaultTime(sc)
+	after := scheduledFaultTime(min)
+	if after >= before {
+		t.Errorf("crash downtime not minimized: %v -> %v", before, after)
+	}
+	// 40ms of downtime halves down to the 1ms+ floor well within budget.
+	if after > 2*time.Millisecond {
+		t.Errorf("crash downtime %v, want at or near the span floor", after)
+	}
+	if vs := oracle(min); len(vs) == 0 {
+		t.Error("shrunk scenario no longer fails the oracle")
+	}
+}
+
 // With a budget of zero reductions the input comes back unchanged.
 func TestShrinkExhaustedBudgetReturnsInput(t *testing.T) {
 	sc := knownBad()

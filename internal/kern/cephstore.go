@@ -2,6 +2,7 @@ package kern
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/cpu"
@@ -25,6 +26,13 @@ type CephStore struct {
 
 	// faults counts retry/failover activity against a faulted backend.
 	faults metrics.FaultCounters
+
+	// session identifies this client instance at the MDS; epoch is its
+	// current incarnation. crashed fails every operation with
+	// vfsapi.ErrCrashed until RestartStore reclaims the session.
+	session string
+	epoch   uint64
+	crashed bool
 }
 
 type attrEntry struct {
@@ -32,15 +40,46 @@ type attrEntry struct {
 	ino  uint64
 }
 
-// NewCephStore creates a kernel Ceph client store against the cluster.
+// NewCephStore creates a kernel Ceph client store against the cluster
+// and registers its MDS session.
 func NewCephStore(k *Kernel, clus *cluster.Cluster) *CephStore {
-	return &CephStore{
+	s := &CephStore{
 		kern:  k,
 		clus:  clus,
 		attrs: map[string]attrEntry{},
 		paths: map[uint64]string{},
 	}
+	s.session = fmt.Sprintf("kclient%d", clus.SessionCount())
+	s.epoch = clus.OpenSession(s.session, nil)
+	return s
 }
+
+// CrashStore kills the kernel client's cluster-facing state: the
+// attribute cache goes cold, the MDS session is marked stale, and every
+// operation fails with vfsapi.ErrCrashed until RestartStore.
+func (s *CephStore) CrashStore() {
+	s.crashed = true
+	s.attrs = map[string]attrEntry{}
+	s.paths = map[uint64]string{}
+	s.clus.MarkSessionStale(s.session)
+}
+
+// RestartStore runs the recovery protocol of a restarted kernel client:
+// one MDS round trip reclaims the session, fencing the dead incarnation
+// and issuing a fresh epoch, after which the store serves traffic with
+// cold caches.
+func (s *CephStore) RestartStore(ctx vfsapi.Ctx) error {
+	epoch, err := s.clus.ReclaimSession(ctx, s.session)
+	if err != nil {
+		return err
+	}
+	s.epoch = epoch
+	s.crashed = false
+	return nil
+}
+
+// SessionEpoch returns the store's current MDS session incarnation.
+func (s *CephStore) SessionEpoch() uint64 { return s.epoch }
 
 func (s *CephStore) opCPU(ctx vfsapi.Ctx) {
 	ctx.T.Exec(ctx.P, cpu.Kernel, s.kern.params.KernelClientOpCost)
@@ -57,6 +96,9 @@ func (s *CephStore) wireCPU(ctx vfsapi.Ctx, n int64) {
 // Lookup resolves a path, serving repeated lookups from the attribute
 // cache.
 func (s *CephStore) Lookup(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64, error) {
+	if s.crashed {
+		return vfsapi.FileInfo{}, 0, vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	if e, ok := s.attrs[path]; ok {
 		return e.info, e.ino, nil
@@ -73,6 +115,9 @@ func (s *CephStore) Lookup(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, uint64
 
 // Create makes a file at the MDS.
 func (s *CephStore) Create(ctx vfsapi.Ctx, path string) (uint64, error) {
+	if s.crashed {
+		return 0, vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, 256)
 	ino, err := s.clus.MetaCreate(ctx, path)
@@ -86,6 +131,9 @@ func (s *CephStore) Create(ctx vfsapi.Ctx, path string) (uint64, error) {
 
 // Mkdir creates a directory at the MDS.
 func (s *CephStore) Mkdir(ctx vfsapi.Ctx, path string) error {
+	if s.crashed {
+		return vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, 256)
 	return s.clus.MetaMkdir(ctx, path)
@@ -93,6 +141,9 @@ func (s *CephStore) Mkdir(ctx vfsapi.Ctx, path string) error {
 
 // Readdir lists a directory at the MDS.
 func (s *CephStore) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	if s.crashed {
+		return nil, vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, 512)
 	return s.clus.MetaReaddir(ctx, path)
@@ -100,6 +151,9 @@ func (s *CephStore) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, err
 
 // Unlink removes a file at the MDS and invalidates the cached entry.
 func (s *CephStore) Unlink(ctx vfsapi.Ctx, path string) (uint64, error) {
+	if s.crashed {
+		return 0, vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	var ino uint64
 	if e, ok := s.attrs[path]; ok {
@@ -116,6 +170,9 @@ func (s *CephStore) Unlink(ctx vfsapi.Ctx, path string) (uint64, error) {
 
 // Rmdir removes a directory at the MDS.
 func (s *CephStore) Rmdir(ctx vfsapi.Ctx, path string) error {
+	if s.crashed {
+		return vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, 256)
 	return s.clus.MetaRmdir(ctx, path)
@@ -123,6 +180,9 @@ func (s *CephStore) Rmdir(ctx vfsapi.Ctx, path string) error {
 
 // Rename moves a file at the MDS, rewriting the cached entries.
 func (s *CephStore) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	if s.crashed {
+		return vfsapi.ErrCrashed
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, 256)
 	if err := s.clus.MetaRename(ctx, oldPath, newPath); err != nil {
@@ -138,6 +198,9 @@ func (s *CephStore) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
 
 // SetSize pushes the file size to the MDS.
 func (s *CephStore) SetSize(ctx vfsapi.Ctx, ino uint64, size int64) error {
+	if s.crashed {
+		return vfsapi.ErrCrashed
+	}
 	path, ok := s.paths[ino]
 	if !ok {
 		return vfsapi.ErrNotExist
@@ -181,6 +244,11 @@ func (s *CephStore) retryData(ctx vfsapi.Ctx, attempt func(member int) error) {
 	repl := s.clus.Replication()
 	missed := false
 	for try := 0; ; try++ {
+		if s.crashed {
+			// A crash mid-retry aborts the loop: the in-kernel client is
+			// gone, there is nobody left to hang in D state.
+			return
+		}
 		member := 0
 		if try > 0 {
 			member = try % repl
@@ -192,7 +260,7 @@ func (s *CephStore) retryData(ctx vfsapi.Ctx, attempt func(member int) error) {
 			}
 			return
 		}
-		if !kernRetryable(err) || s.kern.stopped {
+		if !kernRetryable(err) || s.kern.stopped || s.crashed {
 			return
 		}
 		s.faults.Retries++
@@ -216,6 +284,9 @@ func (s *CephStore) retryData(ctx vfsapi.Ctx, attempt func(member int) error) {
 // ReadData fetches object data from the OSDs, failing over to ring
 // replicas and retrying until the read completes.
 func (s *CephStore) ReadData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	if s.crashed {
+		return
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, n)
 	s.retryData(ctx, func(member int) error {
@@ -229,6 +300,9 @@ func (s *CephStore) ReadData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
 // WriteData stores object data on the OSDs, advancing the acting
 // primary through the replication group on retries.
 func (s *CephStore) WriteData(ctx vfsapi.Ctx, ino uint64, off, n int64) {
+	if s.crashed {
+		return
+	}
 	s.opCPU(ctx)
 	s.wireCPU(ctx, n)
 	s.retryData(ctx, func(member int) error {

@@ -72,10 +72,18 @@ type Mount struct {
 
 	readahead int64          // max readahead window; 0 disables
 	fetchQ    *sim.WaitQueue // readers waiting on in-flight page reads
+
+	// crashed marks a host/kernel-client crash: operations fail with
+	// vfsapi.ErrCrashed until Restart. gen invalidates handles opened
+	// before the crash — the remount is replayable, applications reopen.
+	crashed bool
+	gen     uint64
+	crashes uint64
 }
 
 type fileState struct {
 	ino        uint64
+	gen        uint64 // mount crash generation at creation
 	size       int64
 	cached     extent.Set
 	dirty      extent.Set
@@ -170,7 +178,7 @@ func (m *Mount) Store() Store { return m.store }
 func (m *Mount) file(ino uint64, size int64) *fileState {
 	f, ok := m.files[ino]
 	if !ok {
-		f = &fileState{ino: ino, size: size, imutex: m.kern.newInodeLock()}
+		f = &fileState{ino: ino, gen: m.gen, size: size, imutex: m.kern.newInodeLock()}
 		m.files[ino] = f
 	}
 	return f
@@ -178,6 +186,13 @@ func (m *Mount) file(ino uint64, size int64) *fileState {
 
 // touch moves f to the hot end of the LRU. Caller holds lru_lock.
 func (m *Mount) touch(f *fileState) {
+	// A crash discards every fileState of its generation; operations
+	// that were blocked across it still hold a dead incarnation's
+	// fileState and must not push it into the new LRU (its residency is
+	// no longer in the meter, so a later eviction would underflow).
+	if f.gen != m.gen {
+		return
+	}
 	if f.lruElem == nil {
 		f.lruElem = m.lru.PushBack(f)
 		return
@@ -205,6 +220,10 @@ func (m *Mount) chargeLRU(ctx vfsapi.Ctx, n int64, fn func()) {
 func (m *Mount) cacheInsert(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	k := m.kern
 	k.lockSpan(ctx, k.lruLock, "lru_lock")
+	if f.gen != m.gen {
+		k.lruLock.Unlock(ctx.P)
+		return // stale fileState from before a crash: not accounted
+	}
 	added := f.cached.Insert(off, n)
 	m.meter.Alloc(added)
 	m.touch(f)
@@ -265,6 +284,10 @@ func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	k := m.kern
 	k.lockSpan(ctx, k.writebackLock, "wb_lock")
 	ctx.T.Exec(ctx.P, cpu.Kernel, k.params.WritebackLockHold)
+	if f.gen != m.gen {
+		k.writebackLock.Unlock(ctx.P)
+		return // stale fileState from before a crash: not accounted
+	}
 	newly := f.dirty.Insert(off, n)
 	if newly > 0 {
 		if !f.inDirty {
@@ -308,7 +331,7 @@ func (m *Mount) markDirty(ctx vfsapi.Ctx, f *fileState, off, n int64) {
 	}
 	// Teardown safety: with the flushers stopped nobody can lower the
 	// dirty level, so writers must not spin on the threshold.
-	for m.dirtyBytes >= m.maxDirty() && !k.stopped {
+	for m.dirtyBytes >= m.maxDirty() && !k.stopped && !m.crashed {
 		start := k.eng.Now()
 		m.throttleQ.WaitTimeout(ctx.P, k.params.DirtyThrottleCheck)
 		ctx.T.Account().AddIOWait(k.eng.Now() - start)
@@ -371,6 +394,11 @@ func (m *Mount) flushPass(ctx vfsapi.Ctx) bool {
 			}
 		}
 		f.flushing = false
+		if m.crashed {
+			// The crash already zeroed the dirty accounting; subtracting
+			// this batch again would drive it negative.
+			break
+		}
 		passTotal += total
 		m.updateFlushRate(total)
 		m.dirtyBytes -= total
@@ -438,6 +466,9 @@ func (m *Mount) removeDirty(f *fileState) {
 // migration).
 func (m *Mount) SyncAll(ctx vfsapi.Ctx) {
 	for {
+		if m.crashed {
+			return
+		}
 		f := m.nextDirtyFile()
 		if f == nil {
 			return
@@ -451,6 +482,9 @@ func (m *Mount) SyncAll(ctx vfsapi.Ctx) {
 				}
 				total += e.Len
 			}
+			if m.crashed {
+				return
+			}
 			m.dirtyBytes -= total
 		}
 		m.removeDirty(f)
@@ -459,6 +493,73 @@ func (m *Mount) SyncAll(ctx vfsapi.Ctx) {
 		}
 		m.throttleQ.Broadcast()
 	}
+}
+
+// Crash models the kernel client dying (for the kernel Ceph mount this
+// is effectively a host crash: there is no way to kill the in-kernel
+// client without taking the node down). The mount's entire in-memory
+// state — page cache, dirty tracking, open-file table — is discarded:
+// un-synced dirty data is lost and only store-acknowledged bytes
+// survive, every open handle is invalidated via the generation counter,
+// and subsequent operations fail with vfsapi.ErrCrashed until Restart.
+// It runs outside simulated time: the crash is an external event, not
+// work performed by any thread.
+func (m *Mount) Crash() {
+	m.crashed = true
+	m.gen++
+	m.crashes++
+	for _, f := range m.files {
+		if n := f.cached.Len(); n > 0 {
+			m.meter.Free(n)
+		}
+		f.cached.Clear()
+		f.dirty.Clear()
+		f.fetching.Clear()
+		f.lruElem = nil
+		f.inDirty = false
+	}
+	m.files = map[uint64]*fileState{}
+	m.lru.Init()
+	m.dirtyList = nil
+	m.dirtyBytes = 0
+	m.flushRate = 0
+	if c, ok := m.store.(storeCrasher); ok {
+		c.CrashStore()
+	}
+	m.throttleQ.Broadcast()
+	m.fetchQ.Broadcast()
+}
+
+// Restart remounts after Crash. The cache stays cold (the file table
+// was dropped with the crash), and a store with its own recovery
+// protocol — the kernel Ceph client's MDS session reclaim — runs it
+// before the mount serves traffic. Pre-crash handles keep failing with
+// vfsapi.ErrCrashed: recovery restores the mount, not open files.
+func (m *Mount) Restart(ctx vfsapi.Ctx) error {
+	if !m.crashed {
+		return nil
+	}
+	if c, ok := m.store.(storeCrasher); ok {
+		if err := c.RestartStore(ctx); err != nil {
+			return err
+		}
+	}
+	m.crashed = false
+	return nil
+}
+
+// Crashed reports whether the mount is down.
+func (m *Mount) Crashed() bool { return m.crashed }
+
+// Crashes counts Crash calls on this mount.
+func (m *Mount) Crashes() uint64 { return m.crashes }
+
+// storeCrasher is implemented by stores that hold their own client
+// state (the kernel Ceph client): CrashStore discards it with the
+// crash, RestartStore runs the store's recovery protocol on remount.
+type storeCrasher interface {
+	CrashStore()
+	RestartStore(ctx vfsapi.Ctx) error
 }
 
 // dropCache removes all residency and dirty state of f (unlink,

@@ -18,8 +18,24 @@ type OpenForwarder interface {
 	ForwardOpen(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) error
 }
 
+// failIfCrashed is the entry check on every mount-level operation: a
+// crashed kernel client fails everything deterministically until the
+// remount completes. Failing still costs a syscall's worth of kernel
+// time so erroring loops advance simulated time instead of spinning at
+// one virtual instant.
+func (m *Mount) failIfCrashed(ctx vfsapi.Ctx) error {
+	if m.crashed {
+		ctx.T.Exec(ctx.P, cpu.Kernel, m.kern.params.VFSOpCost)
+		return vfsapi.ErrCrashed
+	}
+	return nil
+}
+
 // Open opens or creates a file.
 func (m *Mount) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return nil, err
+	}
 	if fw, ok := m.store.(OpenForwarder); ok && flags.Writable() {
 		if err := fw.ForwardOpen(ctx, path, flags); err != nil && !(flags.Has(vfsapi.CREATE) && err == vfsapi.ErrNotExist) {
 			return nil, err
@@ -48,11 +64,14 @@ func (m *Mount) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi
 			return nil, err
 		}
 	}
-	return &pagedHandle{m: m, f: f, path: path, flags: flags, raNext: -1}, nil
+	return &pagedHandle{m: m, f: f, path: path, flags: flags, gen: m.gen, raNext: -1}, nil
 }
 
 // Stat returns metadata, preferring the in-kernel (possibly dirty) size.
 func (m *Mount) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return vfsapi.FileInfo{}, err
+	}
 	info, ino, err := m.store.Lookup(ctx, path)
 	if err != nil {
 		return vfsapi.FileInfo{}, err
@@ -65,16 +84,25 @@ func (m *Mount) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
 
 // Mkdir creates a directory.
 func (m *Mount) Mkdir(ctx vfsapi.Ctx, path string) error {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	return m.store.Mkdir(ctx, path)
 }
 
 // Readdir lists a directory.
 func (m *Mount) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return nil, err
+	}
 	return m.store.Readdir(ctx, path)
 }
 
 // Unlink removes a file and drops its cached state.
 func (m *Mount) Unlink(ctx vfsapi.Ctx, path string) error {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	ino, err := m.store.Unlink(ctx, path)
 	if err != nil {
 		return err
@@ -89,11 +117,17 @@ func (m *Mount) Unlink(ctx vfsapi.Ctx, path string) error {
 
 // Rmdir removes an empty directory.
 func (m *Mount) Rmdir(ctx vfsapi.Ctx, path string) error {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	return m.store.Rmdir(ctx, path)
 }
 
 // Rename moves a file.
 func (m *Mount) Rename(ctx vfsapi.Ctx, oldPath, newPath string) error {
+	if err := m.failIfCrashed(ctx); err != nil {
+		return err
+	}
 	return m.store.Rename(ctx, oldPath, newPath)
 }
 
@@ -103,12 +137,28 @@ type pagedHandle struct {
 	f      *fileState
 	path   string
 	flags  vfsapi.OpenFlag
+	gen    uint64 // mount generation at open; stale after a crash
 	closed bool
 	wrote  bool
 
 	// Sequential-read detection for readahead.
 	raNext   int64 // expected next offset; -1 = no stream yet
 	raWindow int64
+}
+
+// failIfStale fails handle operations after the handle is closed or the
+// mount crashed. The generation check keeps pre-crash handles failing
+// even after the remount: the file table was rebuilt cold, so the old
+// fileState is an orphan and the application must reopen.
+func (h *pagedHandle) failIfStale(ctx vfsapi.Ctx) error {
+	if h.closed {
+		return vfsapi.ErrClosed
+	}
+	if h.m.crashed || h.gen != h.m.gen {
+		ctx.T.Exec(ctx.P, cpu.Kernel, h.m.kern.params.VFSOpCost)
+		return vfsapi.ErrCrashed
+	}
+	return nil
 }
 
 // Path returns the open path.
@@ -120,8 +170,8 @@ func (h *pagedHandle) Size() int64 { return h.f.size }
 // Read serves [off,off+n) from the page cache, fetching misses from the
 // store with readahead on sequential streams.
 func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
-	if h.closed {
-		return 0, vfsapi.ErrClosed
+	if err := h.failIfStale(ctx); err != nil {
+		return 0, err
 	}
 	if off >= h.f.size {
 		return 0, nil
@@ -167,6 +217,12 @@ func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	// Fetch misses with page-lock semantics: ranges being read in by
 	// another thread are awaited rather than re-fetched.
 	for {
+		if err := h.failIfStale(ctx); err != nil {
+			// The client died while we waited on a fetch (or mid-loop):
+			// the page cache was discarded, fail rather than re-fetch
+			// from the dead store.
+			return 0, err
+		}
 		gaps := h.f.cached.Gaps(off, fetchLen)
 		if len(gaps) == 0 {
 			break
@@ -178,6 +234,14 @@ func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 		}
 		h.f.fetching.Insert(g.Off, g.Len)
 		m.store.ReadData(ctx, h.f.ino, g.Off, g.Len)
+		if err := h.failIfStale(ctx); err != nil {
+			// Crashed during the store read: release the claim so other
+			// stale waiters cycle out, and fail instead of inserting
+			// into the restarted incarnation's cache.
+			h.f.fetching.Remove(g.Off, g.Len)
+			m.fetchQ.Broadcast()
+			return 0, err
+		}
 		m.cacheInsert(ctx, h.f, g.Off, g.Len)
 		h.f.fetching.Remove(g.Off, g.Len)
 		m.fetchQ.Broadcast()
@@ -192,8 +256,8 @@ func (h *pagedHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 // Write copies [off,off+n) into the page cache and marks it dirty,
 // throttling when the mount exceeds its dirty limit.
 func (h *pagedHandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
-	if h.closed {
-		return 0, vfsapi.ErrClosed
+	if err := h.failIfStale(ctx); err != nil {
+		return 0, err
 	}
 	if !h.flags.Writable() && !h.flags.Has(vfsapi.CREATE) {
 		return 0, vfsapi.ErrReadOnly
@@ -224,6 +288,11 @@ func (h *pagedHandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
 	}
 	h.f.imutex.Unlock(ctx.P)
 	m.markDirty(ctx, h.f, off, n)
+	if err := h.failIfStale(ctx); err != nil {
+		// The client died while the writer was throttled: the pages it
+		// buffered are gone, so the write must not report success.
+		return 0, err
+	}
 	return n, nil
 }
 
@@ -236,8 +305,8 @@ func (h *pagedHandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
 
 // Fsync synchronously drains this file's dirty pages to the store.
 func (h *pagedHandle) Fsync(ctx vfsapi.Ctx) error {
-	if h.closed {
-		return vfsapi.ErrClosed
+	if err := h.failIfStale(ctx); err != nil {
+		return err
 	}
 	m := h.m
 	for h.f.dirty.Len() > 0 {
@@ -249,6 +318,11 @@ func (h *pagedHandle) Fsync(ctx vfsapi.Ctx) error {
 		for _, e := range exts {
 			m.store.WriteData(ctx, h.f.ino, e.Off, e.Len)
 			total += e.Len
+		}
+		if err := h.failIfStale(ctx); err != nil {
+			// Crash mid-fsync: the dirty accounting was already zeroed,
+			// and the un-acknowledged batch must not count as synced.
+			return err
 		}
 		m.dirtyBytes -= total
 		m.throttleQ.Broadcast()
@@ -279,6 +353,12 @@ type storeFsyncer interface {
 func (h *pagedHandle) Close(ctx vfsapi.Ctx) error {
 	if h.closed {
 		return vfsapi.ErrClosed
+	}
+	if err := h.failIfStale(ctx); err != nil {
+		// Closing a stale handle releases it but cannot push the size —
+		// the kernel state that tracked it is gone.
+		h.closed = true
+		return err
 	}
 	h.closed = true
 	if h.wrote && !h.f.unlinked {

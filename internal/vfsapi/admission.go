@@ -48,6 +48,15 @@ type Admission struct {
 	queued    int
 	pressured bool
 
+	// crashEpoch increments on every ShedQueued flush; a parked waiter
+	// that wakes into a newer epoch was evicted by a crash, not handed a
+	// slot. grants counts slots handed to waiters by Release but not yet
+	// consumed — an evicted waiter holding one returns it to inFlight so
+	// the crash cannot leak execution slots.
+	crashEpoch uint64
+	grants     int
+	crashErr   error
+
 	offered    uint64
 	admitted   uint64
 	shed       uint64
@@ -106,6 +115,7 @@ func (a *Admission) Admit(ctx Ctx) error {
 			a.cfg.OnPressure(true)
 		}
 	}
+	epoch := a.crashEpoch
 	start := a.eng.Now()
 	a.q.Wait(ctx.P)
 	wait := a.eng.Now() - start
@@ -113,10 +123,52 @@ func (a *Admission) Admit(ctx Ctx) error {
 	if ctx.T != nil {
 		ctx.T.Account().AddIOWait(wait)
 	}
+	if a.crashEpoch != epoch {
+		// Evicted by ShedQueued: the client died while we were parked.
+		// If a releasing op had already handed us its slot, return it —
+		// nobody will run on it.
+		if a.grants > 0 {
+			a.grants--
+			a.inFlight--
+		}
+		a.shed++
+		return a.crashErr
+	}
 	// The releasing operation handed us its slot (see Release): inFlight
 	// was not decremented there, so it already counts this operation.
+	if a.grants > 0 {
+		a.grants--
+	}
 	a.admitted++
 	return nil
+}
+
+// ShedQueued evicts every parked waiter with the given deterministic
+// error (ErrCrashed when the tenant's client dies mid-queue) and
+// returns how many it evicted. Slots already handed to waiters by
+// Release are reclaimed by the waiters as they wake, so the bounded
+// queue and in-flight accounting survive the crash intact; operations
+// arriving after the flush admit normally and fail inside the crashed
+// client instead.
+func (a *Admission) ShedQueued(err error) int {
+	if err == nil {
+		err = ErrCrashed
+	}
+	n := a.queued
+	if n == 0 {
+		return 0
+	}
+	a.crashEpoch++
+	a.crashErr = err
+	a.queued = 0
+	if a.pressured {
+		a.pressured = false
+		if a.cfg.OnPressure != nil {
+			a.cfg.OnPressure(false)
+		}
+	}
+	a.q.Broadcast()
+	return n
 }
 
 // Release returns the slot. If a waiter is queued the slot transfers
@@ -126,6 +178,7 @@ func (a *Admission) Admit(ctx Ctx) error {
 func (a *Admission) Release() {
 	if a.queued > 0 && a.q.Signal() {
 		a.queued--
+		a.grants++
 		if a.pressured && a.queued <= a.cfg.LowWater {
 			a.pressured = false
 			if a.cfg.OnPressure != nil {

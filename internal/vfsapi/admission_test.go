@@ -131,6 +131,104 @@ func TestAdmissionPressureHysteresis(t *testing.T) {
 	}
 }
 
+// A client crash while operations are parked on the admission queue:
+// every waiter is evicted with the deterministic crash error, the
+// ledger accounts them as shed, and nothing stays queued.
+func TestAdmissionCrashShedsQueued(t *testing.T) {
+	r := newAdmRig()
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{MaxInFlight: 1, QueueCap: 4})
+	errs := make([]error, 2)
+	var shedN int
+	r.eng.Go("holder", func(p *sim.Proc) {
+		if err := a.Admit(r.ctx(p)); err != nil {
+			t.Errorf("holder shed: %v", err)
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		shedN = a.ShedQueued(vfsapi.ErrCrashed)
+		p.Sleep(time.Millisecond)
+		a.Release()
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		r.eng.Go("waiter", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			errs[i] = a.Admit(r.ctx(p))
+		})
+	}
+	r.eng.Run()
+
+	if shedN != 2 {
+		t.Fatalf("ShedQueued evicted %d waiters, want 2", shedN)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, vfsapi.ErrCrashed) {
+			t.Fatalf("waiter %d got %v, want ErrCrashed", i, err)
+		}
+	}
+	s := a.Stats()
+	if s.Offered != 3 || s.Admitted != 1 || s.Shed != 2 {
+		t.Fatalf("ledger offered/admitted/shed = %d/%d/%d, want 3/1/2", s.Offered, s.Admitted, s.Shed)
+	}
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("crash leaked state: in-flight %d queued %d, want 0/0", s.InFlight, s.Queued)
+	}
+}
+
+// Regression for the slot-handoff crash race: Release hands the slot to
+// the oldest waiter without decrementing inFlight, then the crash sheds
+// the queue before the grantee ever runs. The evicted grantee must
+// return the slot — otherwise the crash permanently leaks an execution
+// slot and the tenant's concurrency shrinks forever.
+func TestAdmissionCrashAfterHandoffLeaksNoSlot(t *testing.T) {
+	r := newAdmRig()
+	a := vfsapi.NewAdmission(r.eng, "p", vfsapi.AdmissionConfig{MaxInFlight: 1, QueueCap: 4})
+	errs := make([]error, 2)
+	var lateErr error
+	r.eng.Go("holder", func(p *sim.Proc) {
+		if err := a.Admit(r.ctx(p)); err != nil {
+			t.Errorf("holder shed: %v", err)
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		// Hand the slot to the oldest waiter, then crash in the same
+		// virtual instant, before the grantee resumes.
+		a.Release()
+		a.ShedQueued(vfsapi.ErrCrashed)
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		r.eng.Go("waiter", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			errs[i] = a.Admit(r.ctx(p))
+		})
+	}
+	r.eng.Go("late", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		lateErr = a.Admit(r.ctx(p))
+		if lateErr == nil {
+			a.Release()
+		}
+	})
+	r.eng.Run()
+
+	for i, err := range errs {
+		if !errors.Is(err, vfsapi.ErrCrashed) {
+			t.Fatalf("waiter %d got %v, want ErrCrashed (granted slots must not survive the crash)", i, err)
+		}
+	}
+	if lateErr != nil {
+		t.Fatalf("post-crash op shed with %v; the handed-off slot leaked", lateErr)
+	}
+	s := a.Stats()
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("crash leaked state: in-flight %d queued %d, want 0/0", s.InFlight, s.Queued)
+	}
+	if s.Offered != s.Admitted+s.Shed {
+		t.Fatalf("drained ledger does not balance: %+v", s)
+	}
+}
+
 // The decorator wraps every data operation in admit/release; a nil
 // controller must leave the filesystem untouched.
 func TestAdmittedDecorator(t *testing.T) {

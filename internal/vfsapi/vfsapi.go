@@ -123,4 +123,11 @@ var (
 	// operation because both the in-flight slots and the bounded wait
 	// queue are full (see Admission).
 	ErrOverload = errors.New("overloaded: admission queue full")
+	// ErrCrashed is the deterministic error of a crashed client-side
+	// component (Danaus libservice, FUSE daemon, or kernel client):
+	// in-flight and subsequent operations fail with it until the
+	// component restarts, and handles opened before the crash keep
+	// failing with it after recovery until reopened — the replayable
+	// remount contract (see internal/faults client crash kinds).
+	ErrCrashed = errors.New("client crashed: filesystem service unavailable")
 )
