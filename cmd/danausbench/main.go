@@ -22,6 +22,18 @@
 // a modified cost model ("nic=2x,osd=2x,lockcs=0.5,flusher=pinned")
 // and reports predicted-vs-measured per-tenant mean latency; with
 // -blame the comparison also lands in <base>-whatif.json.
+//
+// Op-trace record/replay (see TRACES.md):
+//
+//	danausbench -exp tracesweep -record base.trace -diffcsv diff.csv
+//	danausbench -replay base.trace -config K -diffcsv k.csv
+//	danausbench -tracediff base.trace,k.trace
+//
+// -record captures the VFS op stream: with -exp tracesweep it writes
+// the production-shaped baseline recording; with any other experiment
+// it writes one trace per observed run. -replay reissues a recorded
+// trace against the chosen client configuration and diffs the result
+// against the recording; -tracediff compares two trace files offline.
 package main
 
 import (
@@ -38,6 +50,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fuzz"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -64,6 +77,7 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"fuzzsweep":     runFuzzSweep,
 	"overloadsweep": runOverloadSweep,
 	"crashsweep":    runCrashSweep,
+	"tracesweep":    runTraceSweep,
 }
 
 // invariantFailures counts invariant violations observed by experiment
@@ -94,10 +108,26 @@ var (
 	whatIf        *blame.WhatIf
 )
 
+// recordTracePath (-record) receives the recorded op trace: the
+// tracesweep baseline when -exp tracesweep, otherwise one trace per
+// observed run. diffCSVPath (-diffcsv) receives trace-diff rows.
+// sweepArtifacts routes the two into runTraceSweep when the sweep was
+// selected directly (under -exp all the generic capture path owns
+// them instead). opCaptures holds the generic per-run capture
+// recorders, parallel to obsRuns.
+var (
+	recordTracePath string
+	diffCSVPath     string
+	sweepArtifacts  bool
+	captureOps      bool
+	opCaptures      []*trace.Recorder
+)
+
 // enableObservability points experiments.Observer at a recorder
 // factory: each testbed gets its own recorder (runs stay separable in
 // the exported artifacts) sampling utilization every 10 ms of virtual
-// time.
+// time. With -record, each recorder additionally feeds a per-run op
+// capture.
 func enableObservability() {
 	experiments.Observer = func(tb *core.Testbed) {
 		rec := obs.New(obs.Config{
@@ -105,6 +135,11 @@ func enableObservability() {
 			SampleInterval: 10 * time.Millisecond,
 		})
 		tb.AttachObserver(rec)
+		if captureOps {
+			capRec := trace.NewRecorder(fmt.Sprintf("run%d", len(obsRuns)), 0)
+			capRec.Attach(rec)
+			opCaptures = append(opCaptures, capRec)
+		}
 		obsRuns = append(obsRuns, obs.Run{
 			Label: fmt.Sprintf("run%d", len(obsRuns)),
 			Rec:   rec,
@@ -127,6 +162,12 @@ func main() {
 	overload := flag.Bool("overload", false, "shorthand for -exp overloadsweep")
 	crash := flag.Bool("crash", false, "shorthand for -exp crashsweep")
 	flag.StringVar(&crashCSVPath, "crashcsv", "", "write crashsweep rows (recovery time, blast radius) as CSV to this file")
+	flag.StringVar(&recordTracePath, "record", "", "write the recorded op trace to this file (see TRACES.md)")
+	flag.StringVar(&diffCSVPath, "diffcsv", "", "write trace-diff rows as CSV (with -exp tracesweep, -replay or -tracediff)")
+	replayPath := flag.String("replay", "", "replay a recorded op trace against -config and exit")
+	configName := flag.String("config", "D", "client configuration for -replay: D, F or K")
+	admission := flag.Bool("admission", false, "enable the overload-admission policy for -replay")
+	traceDiff := flag.String("tracediff", "", "compare two recorded op traces given as a.trace,b.trace and exit")
 	flag.Parse()
 
 	if *overload {
@@ -142,6 +183,11 @@ func main() {
 			os.Exit(2)
 		}
 		*exp = "crashsweep"
+	}
+
+	if *traceDiff != "" {
+		runTraceDiff(*traceDiff, diffCSVPath)
+		return
 	}
 
 	if *fuzzSpec != "" {
@@ -188,7 +234,7 @@ func main() {
 		}
 	}
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *replayPath == "") {
 		fmt.Println("experiments:")
 		names := make([]string, 0, len(experimentsByName))
 		for name := range experimentsByName {
@@ -214,7 +260,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *tracePath != "" || *metricsPath != "" || *blamePath != "" {
+	if *replayPath != "" {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "-replay conflicts with -exp "+*exp)
+			os.Exit(2)
+		}
+		runReplayFile(*replayPath, *configName, *admission, scale)
+		exitOnViolations()
+		return
+	}
+
+	// tracesweep writes its own -record/-diffcsv artifacts when selected
+	// directly; any other experiment gets a generic per-run op capture.
+	sweepArtifacts = *exp == "tracesweep"
+	captureOps = recordTracePath != "" && !sweepArtifacts
+
+	if *tracePath != "" || *metricsPath != "" || *blamePath != "" || captureOps {
 		enableObservability()
 	}
 
@@ -229,6 +290,7 @@ func main() {
 		}
 		exportObs(*tracePath, *metricsPath)
 		exportBlame(*blamePath)
+		exportTraces(recordTracePath)
 		exitOnViolations()
 		return
 	}
@@ -239,7 +301,118 @@ func main() {
 	runOne(*exp, scale)
 	exportObs(*tracePath, *metricsPath)
 	exportBlame(*blamePath)
+	exportTraces(recordTracePath)
 	exitOnViolations()
+}
+
+// exportTraces writes the generic per-run op captures collected via
+// the Observer hook: to the given path directly for a single run, or
+// to <base>-runN<ext> each when several testbeds recorded.
+func exportTraces(path string) {
+	if path == "" || len(opCaptures) == 0 {
+		return
+	}
+	ext := filepath.Ext(path)
+	for i, capRec := range opCaptures {
+		out := path
+		if len(opCaptures) > 1 {
+			out = strings.TrimSuffix(path, ext) + fmt.Sprintf("-run%d", i) + ext
+		}
+		tr := capRec.Snapshot()
+		if err := tr.WriteFile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "trace record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("record: %d op(s) -> %s\n", len(tr.Ops), out)
+	}
+}
+
+// parseConfig maps a -config letter onto the client configuration.
+func parseConfig(name string) (core.Configuration, error) {
+	switch strings.ToUpper(name) {
+	case "D":
+		return core.ConfigD, nil
+	case "F":
+		return core.ConfigF, nil
+	case "K":
+		return core.ConfigK, nil
+	}
+	return core.ConfigD, fmt.Errorf("unknown configuration %q (want D, F or K)", name)
+}
+
+// runReplayFile replays a recorded trace file against one client
+// configuration and diffs the result against the recording.
+func runReplayFile(path, configName string, admission bool, scale experiments.Scale) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg, err := parseConfig(configName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := experiments.TraceCase{Label: strings.ToUpper(configName), Config: cfg, Admission: admission}
+	if admission {
+		c.Label += "+adm"
+	}
+	fmt.Printf("Replay %s (label %q, %d ops) under %s\n", path, tr.Label, len(tr.Ops), c.Label)
+	replayed, row := experiments.ReplayTraceUnder(tr, c, scale)
+	fmt.Println("  " + row.String())
+	noteViolations(experiments.TraceRowViolations(row))
+	if recordTracePath != "" {
+		if err := replayed.WriteFile(recordTracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("record: %d op(s) -> %s\n", len(replayed.Ops), recordTracePath)
+	}
+	if diffCSVPath != "" {
+		writeDiffCSV(diffCSVPath, trace.Compare(tr, replayed))
+	}
+}
+
+// runTraceDiff compares two trace files given as "a.trace,b.trace".
+func runTraceDiff(spec, csvPath string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "-tracediff wants two comma-separated trace files")
+		os.Exit(2)
+	}
+	a, err := trace.ReadFile(parts[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := trace.ReadFile(parts[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := trace.Compare(a, b)
+	d.Render(os.Stdout)
+	if csvPath != "" {
+		writeDiffCSV(csvPath, d)
+	}
+}
+
+// writeDiffCSV writes one diff's rows to a CSV file.
+func writeDiffCSV(path string, d *trace.Diff) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diff csv: %v\n", err)
+		os.Exit(1)
+	}
+	err = d.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diff csv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("diff: %d row(s) -> %s\n", len(d.Rows), path)
 }
 
 // exitOnViolations terminates with a nonzero status if any experiment
@@ -521,6 +694,61 @@ func runCrashSweep(scale experiments.Scale) {
 		os.Exit(1)
 	}
 	fmt.Printf("crashsweep: %d row(s) -> %s\n", len(rows), crashCSVPath)
+}
+
+func runTraceSweep(scale experiments.Scale) {
+	fmt.Println("Trace sweep: record a production-shaped run under D, replay it byte-identically under other configs")
+	res := experiments.RunTraceSweep(scale)
+	for _, row := range res.Rows {
+		fmt.Println("  " + row.String())
+		noteViolations(experiments.TraceRowViolations(row))
+	}
+	if !sweepArtifacts {
+		return
+	}
+	if recordTracePath != "" {
+		if err := res.Baseline.WriteFile(recordTracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("record: %d op(s) -> %s\n", len(res.Baseline.Ops), recordTracePath)
+	}
+	if diffCSVPath != "" {
+		writeSweepDiffCSV(diffCSVPath, res)
+	}
+}
+
+// writeSweepDiffCSV folds every replay's diff against the baseline
+// into one CSV, with a leading column naming the replay case.
+func writeSweepDiffCSV(path string, res *experiments.TraceSweepResult) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diff csv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(f, "replay,tenant,op,count_a,count_b,p50_a_us,p99_a_us,p999_a_us,p50_b_us,p99_b_us,p999_b_us,ratio_p99,ratio_p999")
+	us := func(v time.Duration) float64 { return float64(v) / float64(time.Microsecond) }
+	rows := 0
+	for _, rt := range res.Replays {
+		d := trace.Compare(res.Baseline, rt)
+		for _, r := range d.Rows {
+			kind := r.Kind
+			if kind == "" {
+				kind = "*"
+			}
+			fmt.Fprintf(f, "%s,%s,%s,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f,%.3f\n",
+				rt.Label, r.Tenant, kind, r.A.Count, r.B.Count,
+				us(r.A.P50), us(r.A.P99), us(r.A.P999),
+				us(r.B.P50), us(r.B.P99), us(r.B.P999),
+				r.RatioP99(), r.RatioP999())
+			rows++
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "diff csv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("diff: %d row(s) -> %s\n", rows, path)
 }
 
 func runOverloadSweep(scale experiments.Scale) {

@@ -15,6 +15,7 @@ var docFiles = []string{
 	"DESIGN.md",
 	"EXPERIMENTS.md",
 	"OBSERVABILITY.md",
+	"TRACES.md",
 	"ROADMAP.md",
 }
 

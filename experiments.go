@@ -39,6 +39,27 @@ const (
 	PhaseGet = experiments.PhaseGet
 )
 
+// Op-trace record/replay (see TRACES.md).
+type (
+	// TraceCase selects one replay target of the trace sweep.
+	TraceCase = experiments.TraceCase
+	// TraceRow is the outcome of a recording or replay run.
+	TraceRow = experiments.TraceRow
+	// TraceSweepResult bundles the sweep rows with the traces behind them.
+	TraceSweepResult = experiments.TraceSweepResult
+)
+
+var (
+	// RecordTraceBaseline records the production-shaped op stream under D.
+	RecordTraceBaseline = experiments.RecordTraceBaseline
+	// ReplayTraceUnder replays a recorded trace against one configuration.
+	ReplayTraceUnder = experiments.ReplayTraceUnder
+	// RunTraceSweep records a baseline and replays it under every TraceCase.
+	RunTraceSweep = experiments.RunTraceSweep
+	// TraceCases returns the default replay targets (D identity, K, D+adm).
+	TraceCases = experiments.TraceCases
+)
+
 // Experiment runners: each regenerates one figure of the paper's
 // evaluation on a fresh deterministic testbed.
 var (

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// traceTestScale keeps the trace-sweep unit test fast: a short window
+// still yields a few hundred recorded ops.
+var traceTestScale = Scale{Factor: 0.02, Duration: 800 * time.Millisecond, Warmup: 200 * time.Millisecond}
+
+// TestTraceSweepIdentityReplay is the acceptance check of the trace
+// layer: recording a run and replaying it under the recorded
+// configuration reproduces a byte-identical op schedule, and no sweep
+// row violates the replay invariants.
+func TestTraceSweepIdentityReplay(t *testing.T) {
+	res := RunTraceSweep(traceTestScale)
+	if len(res.Rows) != len(TraceCases())+1 {
+		t.Fatalf("expected %d rows, got %d", len(TraceCases())+1, len(res.Rows))
+	}
+	if res.Rows[0].Ops == 0 {
+		t.Fatal("baseline recorded no ops")
+	}
+	if len(res.Rows[0].Classes) == 0 {
+		t.Fatal("baseline row carries no SLO class reports")
+	}
+	for _, row := range res.Rows {
+		for _, v := range TraceRowViolations(row) {
+			t.Error(v)
+		}
+	}
+	for i, row := range res.Rows[1:] {
+		if row.Ops != res.Rows[0].Ops {
+			t.Errorf("%s: replayed %d ops, recorded %d", row.Label, row.Ops, res.Rows[0].Ops)
+		}
+		if res.Replays[i].OpSequence() != res.Baseline.OpSequence() {
+			t.Errorf("%s: op sequence diverged from recording", row.Label)
+		}
+	}
+	identity := res.Rows[1]
+	if !identity.Identity {
+		t.Fatalf("first case is not the identity replay: %+v", identity.Label)
+	}
+	if got, want := res.Replays[0].Schedule(), res.Baseline.Schedule(); got != want {
+		t.Errorf("identity replay schedule differs from recording (hash %s vs %s)",
+			res.Replays[0].ScheduleHash()[:12], res.Baseline.ScheduleHash()[:12])
+	}
+}
+
+// TestTraceReplayDeterminism replays the same recording twice under
+// the same configuration and requires byte-identical results —
+// latencies included, not just the schedule.
+func TestTraceReplayDeterminism(t *testing.T) {
+	base, _ := RecordTraceBaseline(traceTestScale)
+	c := TraceCases()[0]
+	a, _ := ReplayTraceUnder(base, c, traceTestScale)
+	b, _ := ReplayTraceUnder(base, c, traceTestScale)
+	if a.Schedule() != b.Schedule() {
+		t.Error("two identical replays produced different schedules")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Latency != b.Ops[i].Latency {
+			t.Fatalf("op %d: latency %v vs %v across identical replays",
+				i, a.Ops[i].Latency, b.Ops[i].Latency)
+		}
+	}
+}

@@ -88,6 +88,45 @@ func TestOverloadScenarioRuns(t *testing.T) {
 	}
 }
 
+// TestTraceReplayScenarioRuns pushes one trace-recording scenario
+// through the full pipeline: the capture must be non-empty, both
+// clean-testbed replays must run, and every invariant — including
+// trace-replay-determinism — must hold.
+func TestTraceReplayScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Seed: 42, Config: core.ConfigD, Replication: 2, Factor: 0.01, CacheFrac: 2,
+		Warmup: 10 * time.Millisecond, Duration: 60 * time.Millisecond,
+		TraceReplay: true,
+	}
+	o := Evaluate(sc)
+	if vs := CheckAll(o); len(vs) > 0 {
+		t.Fatalf("trace-replay scenario violates invariants: %v", vs)
+	}
+	if o.Full.TraceOps == 0 {
+		t.Fatalf("capture empty: %s", o.Full.Summary)
+	}
+	if len(o.TraceRuns) != 2 {
+		t.Fatalf("want 2 trace replays, got %d", len(o.TraceRuns))
+	}
+	if o.TraceRuns[0].Ops != o.Full.TraceOps {
+		t.Fatalf("replay reissued %d of %d captured ops", o.TraceRuns[0].Ops, o.Full.TraceOps)
+	}
+}
+
+// TestGenerateDrawsTraceReplayDimension confirms the trace dimension
+// appears in a sweep-sized sample.
+func TestGenerateDrawsTraceReplayDimension(t *testing.T) {
+	n := 0
+	for i := 0; i < 100; i++ {
+		if Generate(1, i).TraceReplay {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d/100 scenarios drew the trace-replay dimension", n)
+	}
+}
+
 // Generation is a pure function of (baseSeed, index).
 func TestGenerateDeterministic(t *testing.T) {
 	for i := 0; i < 20; i++ {

@@ -17,6 +17,9 @@ type Outcome struct {
 	Full     *Result
 	Replay   *Result
 	Solo     *Result
+	// TraceRuns holds the two clean-testbed replays of the captured op
+	// trace (empty unless the scenario has the TraceReplay dimension).
+	TraceRuns []TraceReplayRun
 }
 
 // Violation is one invariant breach found in an outcome.
@@ -46,7 +49,40 @@ func Checkers() []Checker {
 		{Name: "bounded-queue", Check: checkBoundedQueue},
 		{Name: "admission-accounting", Check: checkAdmissionAccounting},
 		{Name: "crash-consistency", Check: checkCrashConsistency},
+		{Name: "trace-replay-determinism", Check: checkTraceReplay},
 	}
+}
+
+// checkTraceReplay: with the trace dimension active, the run must have
+// captured ops, the rerun must capture a byte-identical trace, and the
+// two clean-testbed replays of the capture must produce identical
+// schedules while preserving the recorded per-stream op sequence with
+// nothing skipped.
+func checkTraceReplay(o *Outcome) []string {
+	if !o.Scenario.TraceReplay {
+		return nil
+	}
+	var out []string
+	if o.Full.TraceOps == 0 {
+		out = append(out, "trace capture recorded no ops")
+	}
+	if o.Replay != nil && o.Full.TraceHash != o.Replay.TraceHash {
+		out = append(out, fmt.Sprintf("captured trace diverged between run and rerun: %s vs %s",
+			o.Full.TraceHash[:12], o.Replay.TraceHash[:12]))
+	}
+	if len(o.TraceRuns) == 2 && o.TraceRuns[0].Hash != o.TraceRuns[1].Hash {
+		out = append(out, fmt.Sprintf("two replays of one trace produced different schedules: %s vs %s",
+			o.TraceRuns[0].Hash[:12], o.TraceRuns[1].Hash[:12]))
+	}
+	for i, r := range o.TraceRuns {
+		if r.Skipped > 0 {
+			out = append(out, fmt.Sprintf("replay %d skipped %d ops (unbound tenant)", i, r.Skipped))
+		}
+		if !r.SequenceOK {
+			out = append(out, fmt.Sprintf("replay %d reordered or rewrote the recorded op sequence", i))
+		}
+	}
+	return out
 }
 
 // checkCrashConsistency: a scheduled client crash must actually happen

@@ -221,20 +221,73 @@ func TestCheckerFiresOnAckedBytesLostAcrossCrash(t *testing.T) {
 	only(t, o, "crash-consistency")
 }
 
+// tracedOutcome decorates the clean outcome with the trace-replay
+// dimension and consistent evidence: a non-empty capture with matching
+// hashes across the rerun, and two identical clean replays preserving
+// the recorded sequence.
+func tracedOutcome() *Outcome {
+	o := cleanOutcome()
+	o.Scenario.TraceReplay = true
+	for _, r := range []*Result{o.Full, o.Replay, o.Solo} {
+		r.TraceOps = 42
+		r.TraceHash = "cafecafecafecafecafecafe"
+	}
+	rep := TraceReplayRun{Hash: "beefbeefbeefbeefbeefbeef", Ops: 42, SequenceOK: true}
+	o.TraceRuns = []TraceReplayRun{rep, rep}
+	return o
+}
+
+func TestCleanTracedOutcomePassesAllCheckers(t *testing.T) {
+	if vs := CheckAll(tracedOutcome()); len(vs) != 0 {
+		t.Fatalf("clean traced outcome violates: %v", vs)
+	}
+}
+
+func TestCheckerFiresOnEmptyTraceCapture(t *testing.T) {
+	o := tracedOutcome()
+	o.Full.TraceOps = 0
+	only(t, o, "trace-replay-determinism")
+}
+
+func TestCheckerFiresOnCaptureHashDivergence(t *testing.T) {
+	o := tracedOutcome()
+	o.Replay.TraceHash = "facefacefacefacefaceface"
+	only(t, o, "trace-replay-determinism")
+}
+
+func TestCheckerFiresOnReplayScheduleDivergence(t *testing.T) {
+	o := tracedOutcome()
+	o.TraceRuns[1].Hash = "deadbeefdeadbeefdeadbeef"
+	only(t, o, "trace-replay-determinism")
+}
+
+func TestCheckerFiresOnSkippedReplayOps(t *testing.T) {
+	o := tracedOutcome()
+	o.TraceRuns[0].Skipped = 3
+	only(t, o, "trace-replay-determinism")
+}
+
+func TestCheckerFiresOnSequenceRewrite(t *testing.T) {
+	o := tracedOutcome()
+	o.TraceRuns[1].SequenceOK = false
+	only(t, o, "trace-replay-determinism")
+}
+
 // Every checker in the registry must be exercised by a mutation above;
 // this guards against registering a new invariant without a dead-oracle
 // test.
 func TestEveryCheckerHasAMutation(t *testing.T) {
 	covered := map[string]bool{
-		"zero-data-loss":       true,
-		"blame-sum":            true,
-		"span-leak":            true,
-		"replay-determinism":   true,
-		"isolation-bound":      true,
-		"fault-accounting":     true,
-		"bounded-queue":        true,
-		"admission-accounting": true,
-		"crash-consistency":    true,
+		"zero-data-loss":           true,
+		"blame-sum":                true,
+		"span-leak":                true,
+		"replay-determinism":       true,
+		"isolation-bound":          true,
+		"fault-accounting":         true,
+		"bounded-queue":            true,
+		"admission-accounting":     true,
+		"crash-consistency":        true,
+		"trace-replay-determinism": true,
 	}
 	for _, c := range Checkers() {
 		if !covered[c.Name] {

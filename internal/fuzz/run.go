@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfsapi"
 	"repro/internal/workloads"
 )
@@ -64,6 +65,13 @@ type Result struct {
 	// harvested into the observability registry (must match Faults).
 	RegistryFaults metrics.FaultCounters
 
+	// Trace is the run's captured VFS op stream (nil unless the scenario
+	// has the TraceReplay dimension); TraceOps and TraceHash summarize
+	// it for the determinism digest.
+	Trace     *trace.Trace
+	TraceOps  int
+	TraceHash string
+
 	// Leaked lists spans opened but never ended at engine drain.
 	Leaked []string
 	// Unattributed counts waits observed with no bound span.
@@ -95,6 +103,12 @@ func Evaluate(sc Scenario) *Outcome {
 	o.Replay = RunScenario(sc, false)
 	if len(sc.Tenants) > 0 {
 		o.Solo = RunScenario(sc, true)
+	}
+	if sc.TraceReplay && o.Full.Trace != nil {
+		o.TraceRuns = []TraceReplayRun{
+			replayTrace(sc, o.Full.Trace),
+			replayTrace(sc, o.Full.Trace),
+		}
 	}
 	return o
 }
@@ -140,6 +154,12 @@ func RunScenario(sc Scenario, solo bool) *Result {
 	rec := obs.New(obs.Config{Clock: tb.Eng.Now})
 	tb.AttachObserver(rec)
 	tb.Cluster.SetReplication(sc.Replication)
+
+	var capRec *trace.Recorder
+	if sc.TraceReplay {
+		capRec = trace.NewRecorder(sc.Config.String(), 0)
+		capRec.Attach(rec)
+	}
 
 	res := &Result{}
 	poolMem := scale.PoolMem()
@@ -486,6 +506,12 @@ func RunScenario(sc Scenario, solo bool) *Result {
 		}
 	}
 
+	if capRec != nil {
+		res.Trace = capRec.Snapshot()
+		res.TraceOps = len(res.Trace.Ops)
+		res.TraceHash = res.Trace.ScheduleHash()
+	}
+
 	rec.Finalize()
 	res.RegistryFaults = rec.Registry().Tenant("victim").Faults()
 	res.Leaked = rec.LeakedSpans()
@@ -494,6 +520,85 @@ func RunScenario(sc Scenario, solo bool) *Result {
 	res.ArtifactHash = hashArtifacts(rec, res.Report)
 	res.Summary = res.summaryLine()
 	return res
+}
+
+// TraceReplayRun is one clean-testbed replay of a scenario's captured
+// op trace, summarized for the trace-replay-determinism checker.
+type TraceReplayRun struct {
+	Hash       string // schedule hash of the replayed trace
+	Ops        int
+	Errors     int
+	Skipped    int
+	SequenceOK bool // replay preserved the recorded per-stream op sequence
+}
+
+// replayTrace reissues a captured op trace against a freshly built
+// testbed shaped like the scenario's (same configuration, pools, cache
+// sizing and admission policy) but with no workloads and no fault
+// schedule. The capture includes preparation ops, so the replay is
+// self-contained: recorded creates rebuild the fileset the later ops
+// touch.
+func replayTrace(sc Scenario, tr *trace.Trace) TraceReplayRun {
+	scale := sc.scale()
+	cores := 2 * (1 + len(sc.Tenants))
+	var pol *core.OverloadPolicy
+	if sc.AdmitQueue > 0 {
+		pol = &core.OverloadPolicy{QueueCap: sc.AdmitQueue, RetrySeed: uint64(sc.Seed)}
+	}
+	tb := core.NewTestbed(core.TestbedConfig{Cores: cores, Params: scale.Params(), Overload: pol})
+	tb.Cluster.SetReplication(sc.Replication)
+
+	poolMem := scale.PoolMem()
+	var cacheBytes int64
+	if sc.CacheFrac > 0 {
+		cacheBytes = poolMem / int64(sc.CacheFrac)
+	}
+
+	bindings := map[string]trace.Binding{}
+	if err := tb.Cluster.ProvisionDir("/containers/victim"); err != nil {
+		panic(err)
+	}
+	victimPool := tb.NewPool("victim", cpu.MaskRange(0, 2), poolMem)
+	victim, err := victimPool.NewContainer("victim", core.MountSpec{
+		Config: sc.Config, UpperDir: "/containers/victim", CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bindings["victim"] = trace.Binding{FS: victim.Mount.Default, NewThread: victim.NewThread}
+	for i := range sc.Tenants {
+		dir := fmt.Sprintf("/containers/t%d", i)
+		if err := tb.Cluster.ProvisionDir(dir); err != nil {
+			panic(err)
+		}
+		pool := tb.NewPool(fmt.Sprintf("t%d", i), cpu.MaskRange(2+2*i, 4+2*i), poolMem)
+		cont, err := pool.NewContainer(fmt.Sprintf("t%d", i), core.MountSpec{
+			Config: sc.Config, UpperDir: dir, CacheBytes: cacheBytes,
+		})
+		if err != nil {
+			panic(err)
+		}
+		bindings[fmt.Sprintf("t%d", i)] = trace.Binding{FS: cont.Mount.Default, NewThread: cont.NewThread}
+	}
+
+	var replayed *trace.Trace
+	var stats *trace.ReplayStats
+	tb.Eng.Go("trace-replay-master", func(p *sim.Proc) {
+		defer tb.Stop()
+		replayed, stats = trace.Replay(p, tb.Eng, tr, "replay", func(tenant string) (trace.Binding, bool) {
+			b, ok := bindings[tenant]
+			return b, ok
+		})
+	})
+	tb.Eng.Run()
+
+	return TraceReplayRun{
+		Hash:       replayed.ScheduleHash(),
+		Ops:        stats.Ops,
+		Errors:     stats.Errors,
+		Skipped:    stats.Skipped,
+		SequenceOK: replayed.OpSequence() == tr.OpSequence(),
+	}
 }
 
 // hashArtifacts fingerprints the run's exported artifacts: the
@@ -540,6 +645,9 @@ func (r *Result) summaryLine() string {
 	if r.CrashEvents > 0 {
 		s += fmt.Sprintf(" crash=%d/%d aff=%d remount=%d",
 			r.CrashEvents, r.CrashRecovered, r.CrashAffected, r.RemountSize)
+	}
+	if r.TraceOps > 0 {
+		s += fmt.Sprintf(" trace=%d/%s", r.TraceOps, r.TraceHash[:12])
 	}
 	return s
 }

@@ -70,6 +70,11 @@ type Scenario struct {
 	// probes reopen their handles after the crash, and the
 	// crash-consistency checker verifies the durability contract.
 	Crash string
+	// TraceReplay records the run's VFS op stream (internal/trace) and
+	// replays it twice against clean testbeds — the trace-replay-
+	// determinism dimension: both replays must produce byte-identical
+	// schedules and preserve the recorded per-stream op sequence.
+	TraceReplay bool
 }
 
 // tenantWorkloads are the generator's workload vocabulary.
@@ -169,6 +174,10 @@ func Generate(baseSeed int64, index int) Scenario {
 			sc.Crash = "host-crash:" + span
 		}
 	}
+
+	// Trace-replay dimension, again drawn last: record the op stream and
+	// make replay determinism an invariant of the scenario.
+	sc.TraceReplay = r.chance(1, 3)
 	return sc
 }
 
@@ -200,9 +209,13 @@ func (sc Scenario) String() string {
 	if sc.Crash != "" {
 		crash = " crash=" + sc.Crash
 	}
-	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s%s",
+	tr := ""
+	if sc.TraceReplay {
+		tr = " tracereplay"
+	}
+	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s%s%s",
 		sc.Config, sc.Replication, shared, sc.CacheFrac, sc.Factor,
-		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload, crash)
+		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload, crash, tr)
 }
 
 // configNames maps Table 1 symbols to configurations for spec parsing.
@@ -256,6 +269,9 @@ func WriteSpec(w io.Writer, sc Scenario, header ...string) error {
 	if sc.Crash != "" {
 		fmt.Fprintf(bw, "crash=%s\n", sc.Crash)
 	}
+	if sc.TraceReplay {
+		fmt.Fprintln(bw, "tracereplay=true")
+	}
 	for _, t := range sc.Tenants {
 		fmt.Fprintf(bw, "tenant=%s:%d\n", t.Workload, t.Threads)
 	}
@@ -303,6 +319,8 @@ func ParseSpec(r io.Reader) (Scenario, error) {
 			sc.AdmitQueue, err = strconv.Atoi(val)
 		case "crash":
 			sc.Crash = val
+		case "tracereplay":
+			sc.TraceReplay, err = strconv.ParseBool(val)
 		case "tenant":
 			name, threads, ok := strings.Cut(val, ":")
 			if !ok {

@@ -120,6 +120,18 @@ func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
 			}
 		}
 
+		// Drop the trace-replay dimension when the failure survives
+		// without it (its own checker never does, so determinism
+		// reproducers keep the dimension).
+		if cur.TraceReplay {
+			cand := cur
+			cand.TraceReplay = false
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
 		// Reduce tenant thread counts to one.
 		for i := range cur.Tenants {
 			if cur.Tenants[i].Threads <= 1 {

@@ -126,6 +126,11 @@ type Recorder struct {
 	reg        *Registry
 	finalizers []func(*Registry)
 	finalized  bool
+
+	// opSink, when set, receives one OpEvent per completed root request
+	// span (see OpDone). It is the feed of the trace recorder
+	// (internal/trace); nil means no per-op capture.
+	opSink func(OpEvent)
 }
 
 // Sym is an interned string id, resolvable with Recorder.Str. Ids are
@@ -179,6 +184,53 @@ type CoreEvent struct {
 	Dur     time.Duration
 	Account Sym
 	Kind    Sym // "user" or "kernel"
+}
+
+// OpEvent describes one completed VFS operation as seen at the
+// facade boundary (vfsapi.Traced): who issued it, what it did, when it
+// was issued in virtual time, and how long it took. It carries enough
+// to reissue the operation byte-identically (path, flags, offset,
+// length), which is what internal/trace records and replays.
+type OpEvent struct {
+	Proc    int32
+	Tenant  string
+	Op      string
+	Path    string
+	Path2   string // rename destination, "" otherwise
+	Flags   int    // open flags bitmask, 0 otherwise
+	Offset  int64
+	Len     int64
+	Issue   time.Duration // span start (virtual time the op was issued)
+	Latency time.Duration
+	Err     bool
+}
+
+// SetOpSink installs (or, with nil, removes) the per-op event sink.
+// The sink fires once per root request span as it completes, in engine
+// order. With no sink installed the capture path costs a single nil
+// check per op and reads no clock, preserving the
+// zero-overhead-when-disabled contract. Nil-safe.
+func (r *Recorder) SetOpSink(fn func(OpEvent)) {
+	if r == nil {
+		return
+	}
+	r.opSink = fn
+}
+
+// OpDone feeds one completed operation to the op sink. The traced
+// facade calls it alongside Span.End with the reissue parameters the
+// span itself does not carry (path, flags, offset, length). No-op when
+// the recorder, the sink, or the span is nil — nested facade crossings
+// pass a nil span, so only the root of a request is captured.
+func (r *Recorder) OpDone(sp *Span, path, path2 string, flags int, off, n int64, err error) {
+	if r == nil || r.opSink == nil || sp == nil {
+		return
+	}
+	r.opSink(OpEvent{
+		Proc: sp.proc, Tenant: sp.tenant, Op: sp.op,
+		Path: path, Path2: path2, Flags: flags, Offset: off, Len: n,
+		Issue: sp.start, Latency: r.cfg.Clock() - sp.start, Err: err != nil,
+	})
 }
 
 // New creates an enabled recorder. cfg.Clock must be set.

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkTraceReplay measures the replay engine itself — per-stream
+// scheduling, handle tracking, re-recording — against a fixed-cost
+// stub filesystem, excluding the client-stack simulation cost. Guarded
+// by benchguard (ci/bench-baseline.txt).
+func BenchmarkTraceReplay(b *testing.B) {
+	const cost = 10 * time.Microsecond
+	in := syntheticTrace(16, 40, cost) // 1920 ops
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := &nullFS{cost: cost}
+		eng := sim.NewEngine()
+		var stats *ReplayStats
+		eng.Go("master", func(p *sim.Proc) {
+			_, stats = Replay(p, eng, in, "bench", bindNull(fs))
+		})
+		eng.Run()
+		if stats.Ops != len(in.Ops) {
+			b.Fatalf("replayed %d/%d ops", stats.Ops, len(in.Ops))
+		}
+	}
+}

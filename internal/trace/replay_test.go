@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/vfsapi"
+)
+
+// nullFS is a stub filesystem with a fixed per-op service time — just
+// enough to exercise the replayer's scheduling without a testbed.
+type nullFS struct {
+	cost time.Duration
+	ops  int
+	fail map[string]bool // op kinds forced to fail
+}
+
+func (f *nullFS) serve(ctx vfsapi.Ctx, kind string) error {
+	f.ops++
+	if f.cost > 0 && ctx.P != nil {
+		ctx.P.Sleep(f.cost)
+	}
+	if f.fail[kind] {
+		return vfsapi.ErrIO
+	}
+	return nil
+}
+
+func (f *nullFS) Open(ctx vfsapi.Ctx, path string, flags vfsapi.OpenFlag) (vfsapi.Handle, error) {
+	if err := f.serve(ctx, "open"); err != nil {
+		return nil, err
+	}
+	return &nullHandle{fs: f, path: path}, nil
+}
+func (f *nullFS) Stat(ctx vfsapi.Ctx, path string) (vfsapi.FileInfo, error) {
+	return vfsapi.FileInfo{Name: path}, f.serve(ctx, "stat")
+}
+func (f *nullFS) Mkdir(ctx vfsapi.Ctx, path string) error  { return f.serve(ctx, "mkdir") }
+func (f *nullFS) Unlink(ctx vfsapi.Ctx, path string) error { return f.serve(ctx, "unlink") }
+func (f *nullFS) Rmdir(ctx vfsapi.Ctx, path string) error  { return f.serve(ctx, "rmdir") }
+func (f *nullFS) Rename(ctx vfsapi.Ctx, a, b string) error { return f.serve(ctx, "rename") }
+func (f *nullFS) Readdir(ctx vfsapi.Ctx, path string) ([]vfsapi.DirEntry, error) {
+	return nil, f.serve(ctx, "readdir")
+}
+
+type nullHandle struct {
+	fs   *nullFS
+	path string
+}
+
+func (h *nullHandle) Read(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	return n, h.fs.serve(ctx, "read")
+}
+func (h *nullHandle) Write(ctx vfsapi.Ctx, off, n int64) (int64, error) {
+	return n, h.fs.serve(ctx, "write")
+}
+func (h *nullHandle) Append(ctx vfsapi.Ctx, n int64) (int64, error) {
+	return 0, h.fs.serve(ctx, "append")
+}
+func (h *nullHandle) Fsync(ctx vfsapi.Ctx) error { return h.fs.serve(ctx, "fsync") }
+func (h *nullHandle) Close(ctx vfsapi.Ctx) error { return h.fs.serve(ctx, "close") }
+func (h *nullHandle) Size() int64                { return 0 }
+func (h *nullHandle) Path() string               { return h.path }
+
+// syntheticTrace builds streams of open/read/close requests whose
+// inter-op slack exceeds cost, so a replay against a nullFS with that
+// cost reproduces the schedule exactly.
+func syntheticTrace(streams, requests int, cost time.Duration) *Trace {
+	byStream := map[int64][]Op{}
+	for s := 0; s < streams; s++ {
+		var ops []Op
+		at := time.Duration(s) * time.Millisecond
+		for r := 0; r < requests; r++ {
+			path := fmt.Sprintf("/s%d/f%d", s, r%7)
+			ops = append(ops,
+				Op{Tenant: "t0", Kind: "open", Path: path, Issue: at, Latency: cost},
+				Op{Tenant: "t0", Kind: "read", Path: path, Offset: int64(r) * 4096, Len: 4096, Issue: at + cost, Latency: cost},
+				Op{Tenant: "t0", Kind: "close", Path: path, Issue: at + 2*cost, Latency: cost},
+			)
+			at += 10 * time.Millisecond
+		}
+		byStream[int64(s)] = ops
+	}
+	return assemble("synthetic", byStream)
+}
+
+func bindNull(fs *nullFS) func(string) (Binding, bool) {
+	return func(string) (Binding, bool) {
+		return Binding{FS: fs, NewThread: func() *cpu.Thread { return nil }}, true
+	}
+}
+
+func TestReplayReproducesSchedule(t *testing.T) {
+	const cost = 50 * time.Microsecond
+	in := syntheticTrace(3, 5, cost)
+	fs := &nullFS{cost: cost}
+	eng := sim.NewEngine()
+	var out *Trace
+	var stats *ReplayStats
+	eng.Go("master", func(p *sim.Proc) {
+		out, stats = Replay(p, eng, in, "null", bindNull(fs))
+	})
+	eng.Run()
+	if stats.Ops != len(in.Ops) || stats.Errors != 0 || stats.Skipped != 0 {
+		t.Fatalf("stats %+v, want %d ops clean", stats, len(in.Ops))
+	}
+	if out.Schedule() != in.Schedule() {
+		t.Error("replay against matching service time must reproduce the schedule")
+	}
+	if out.Label != "null" {
+		t.Errorf("label %q", out.Label)
+	}
+}
+
+func TestReplaySlowTargetKeepsSequence(t *testing.T) {
+	const cost = 50 * time.Microsecond
+	in := syntheticTrace(2, 4, cost)
+	// The target is 40x slower than the recorded config: issue times
+	// must drift (an op waits for its stream predecessor) but the
+	// per-stream op sequence must be untouched.
+	fs := &nullFS{cost: 40 * cost}
+	eng := sim.NewEngine()
+	var out *Trace
+	eng.Go("master", func(p *sim.Proc) {
+		out, _ = Replay(p, eng, in, "slow", bindNull(fs))
+	})
+	eng.Run()
+	d := Compare(in, out)
+	if d.ScheduleEqual {
+		t.Error("a 40x slower target cannot reproduce the schedule")
+	}
+	if !d.SequenceEqual {
+		t.Error("replay must never reorder or rewrite ops")
+	}
+}
+
+func TestReplayCountsErrorsAndSkips(t *testing.T) {
+	in := syntheticTrace(2, 3, time.Microsecond)
+	fs := &nullFS{cost: time.Microsecond, fail: map[string]bool{"read": true}}
+	eng := sim.NewEngine()
+	var out *Trace
+	var stats *ReplayStats
+	eng.Go("master", func(p *sim.Proc) {
+		out, stats = Replay(p, eng, in, "err", bindNull(fs))
+	})
+	eng.Run()
+	if stats.Errors != 6 { // one failed read per request
+		t.Errorf("errors = %d, want 6", stats.Errors)
+	}
+	errs := 0
+	for i := range out.Ops {
+		if out.Ops[i].Err {
+			errs++
+		}
+	}
+	if errs != stats.Errors {
+		t.Errorf("output trace marks %d errors, stats say %d", errs, stats.Errors)
+	}
+
+	// Unbound tenants are skipped, not fatal.
+	eng2 := sim.NewEngine()
+	var stats2 *ReplayStats
+	eng2.Go("master", func(p *sim.Proc) {
+		_, stats2 = Replay(p, eng2, in, "skip", func(string) (Binding, bool) {
+			return Binding{}, false
+		})
+	})
+	eng2.Run()
+	if stats2.Skipped != len(in.Ops) || stats2.Ops != 0 {
+		t.Errorf("stats %+v, want all %d skipped", stats2, len(in.Ops))
+	}
+}
+
+func TestReplayOnDemandOpen(t *testing.T) {
+	// A trace cut mid-stream: a read with no recorded open.
+	in := assemble("cut", map[int64][]Op{
+		0: {{Tenant: "t0", Kind: "read", Path: "/orphan", Len: 4096, Issue: 0}},
+	})
+	fs := &nullFS{}
+	eng := sim.NewEngine()
+	var stats *ReplayStats
+	eng.Go("master", func(p *sim.Proc) {
+		_, stats = Replay(p, eng, in, "cut", bindNull(fs))
+	})
+	eng.Run()
+	if stats.Errors != 0 || stats.Ops != 1 {
+		t.Errorf("stats %+v", stats)
+	}
+	if fs.ops != 2 { // on-demand open + the read
+		t.Errorf("fs served %d ops, want 2 (open-on-demand + read)", fs.ops)
+	}
+}

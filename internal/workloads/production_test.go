@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDiurnalMultiplier(t *testing.T) {
+	flat := Diurnal{}
+	if m := flat.Multiplier(3 * time.Second); m != 1 {
+		t.Errorf("flat curve multiplier = %v, want 1", m)
+	}
+	d := Diurnal{Period: 24 * time.Second, Trough: 0.25}
+	if m := d.Multiplier(0); math.Abs(m-0.25) > 1e-9 {
+		t.Errorf("trough multiplier = %v, want 0.25", m)
+	}
+	if m := d.Multiplier(12 * time.Second); math.Abs(m-1) > 1e-9 {
+		t.Errorf("peak multiplier = %v, want 1", m)
+	}
+	for _, at := range []time.Duration{0, 3 * time.Second, 17 * time.Second, 30 * time.Second} {
+		if m := d.Multiplier(at); m < 0.25-1e-9 || m > 1+1e-9 {
+			t.Errorf("multiplier(%v) = %v outside [trough, 1]", at, m)
+		}
+	}
+	// Clamping: a nonsense trough still yields a valid curve.
+	bad := Diurnal{Period: time.Second, Trough: 7}
+	if m := bad.Multiplier(0); m < 0 || m > 1 {
+		t.Errorf("clamped multiplier = %v", m)
+	}
+}
+
+func planFor(seed int64) []Arrival {
+	w := &Production{Seed: seed, PeakRate: 2000, FileSize: 1 << 20,
+		Diurnal: Diurnal{Period: 2 * time.Second, Trough: 0.3}}
+	return w.Plan(2 * time.Second)
+}
+
+func TestPlanDeterministicAcrossSeeds(t *testing.T) {
+	a, b := planFor(7), planFor(7)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different plan lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := planFor(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical plan")
+	}
+}
+
+func TestPlanZipfSkew(t *testing.T) {
+	plan := planFor(3)
+	counts := map[int]int{}
+	for _, a := range plan {
+		counts[a.User]++
+	}
+	// User 0 is the hottest rank of the Zipf draw; it must dominate a
+	// mid-popularity user by a wide margin.
+	if counts[0] == 0 {
+		t.Fatal("hottest user never drawn")
+	}
+	if counts[0] < 5*counts[100] {
+		t.Errorf("weak skew: user0=%d user100=%d", counts[0], counts[100])
+	}
+}
+
+func TestPlanDiurnalShape(t *testing.T) {
+	// One full period: the half around the peak (middle of the period)
+	// must receive more arrivals than the trough-adjacent quarters.
+	w := &Production{Seed: 11, PeakRate: 5000, FileSize: 1 << 20,
+		Diurnal: Diurnal{Period: 4 * time.Second, Trough: 0.1}}
+	plan := w.Plan(4 * time.Second)
+	var edge, middle int
+	for _, a := range plan {
+		frac := float64(a.At) / float64(4*time.Second)
+		if frac >= 0.25 && frac < 0.75 {
+			middle++
+		} else {
+			edge++
+		}
+	}
+	if middle < 2*edge {
+		t.Errorf("diurnal shape missing: middle=%d edge=%d", middle, edge)
+	}
+}
+
+func TestPlanClassMix(t *testing.T) {
+	w := &Production{Seed: 5, PeakRate: 5000, FileSize: 1 << 20}
+	plan := w.Plan(2 * time.Second)
+	counts := make([]int, len(w.Classes))
+	for _, a := range plan {
+		counts[a.Class]++
+	}
+	// DefaultClasses weights 9:1 — the read class must dominate but the
+	// commit class must be present.
+	if counts[1] == 0 {
+		t.Fatal("commit class never drawn")
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 6 || ratio > 13 {
+		t.Errorf("class mix ratio %.1f, want ~9", ratio)
+	}
+}
+
+func TestPlanOffsetsAligned(t *testing.T) {
+	w := &Production{Seed: 2, PeakRate: 1000, FileSize: 1 << 20, OpSize: 64 << 10}
+	for _, a := range w.Plan(time.Second) {
+		if a.Off%(64<<10) != 0 || a.Off < 0 || a.Off >= 1<<20 {
+			t.Fatalf("offset %d not aligned inside the file", a.Off)
+		}
+	}
+}
