@@ -78,6 +78,7 @@ var experimentsByName = map[string]func(experiments.Scale){
 	"overloadsweep": runOverloadSweep,
 	"crashsweep":    runCrashSweep,
 	"tracesweep":    runTraceSweep,
+	"monitorsweep":  runMonitorSweep,
 }
 
 // invariantFailures counts invariant violations observed by experiment
@@ -162,6 +163,7 @@ func main() {
 	overload := flag.Bool("overload", false, "shorthand for -exp overloadsweep")
 	crash := flag.Bool("crash", false, "shorthand for -exp crashsweep")
 	flag.StringVar(&crashCSVPath, "crashcsv", "", "write crashsweep rows (recovery time, blast radius) as CSV to this file")
+	flag.StringVar(&monitorBasePath, "monitor", "", "write monitorsweep telemetry artifacts (windowed CSV + alert ledger per case) using this base path")
 	flag.StringVar(&recordTracePath, "record", "", "write the recorded op trace to this file (see TRACES.md)")
 	flag.StringVar(&diffCSVPath, "diffcsv", "", "write trace-diff rows as CSV (with -exp tracesweep, -replay or -tracediff)")
 	replayPath := flag.String("replay", "", "replay a recorded op trace against -config and exit")
@@ -694,6 +696,67 @@ func runCrashSweep(scale experiments.Scale) {
 		os.Exit(1)
 	}
 	fmt.Printf("crashsweep: %d row(s) -> %s\n", len(rows), crashCSVPath)
+}
+
+// monitorBasePath, when set via -monitor, receives the live-telemetry
+// artifacts of each monitorsweep case: <base>-<case>-windows.csv (the
+// windowed per-tenant aggregates) and <base>-<case>-alerts.csv (the SLO
+// burn-rate alert ledger). Both are deterministic: repeated runs of the
+// same scale produce byte-identical files.
+var monitorBasePath string
+
+func runMonitorSweep(scale experiments.Scale) {
+	fmt.Println("Monitor sweep: live SLO burn-rate alert timelines under overload and crash (D+adm vs K)")
+	for _, c := range experiments.MonitorCases() {
+		row := experiments.RunMonitorCase(c, scale)
+		fmt.Println("  " + row.String())
+		for _, e := range row.Alerts {
+			mark := "  "
+			if e.T > row.MeasureEnd {
+				mark = " *" // post-measurement drain event
+			}
+			fmt.Println("   " + mark + " " + e.String())
+		}
+		noteViolations(experiments.MonitorRowViolations(row))
+		exportMonitorCase(row)
+	}
+}
+
+// exportMonitorCase writes one monitorsweep case's windows CSV and
+// alert ledger under monitorBasePath.
+func exportMonitorCase(row experiments.MonitorRow) {
+	if monitorBasePath == "" {
+		return
+	}
+	slug := strings.ToLower(row.Label + "-" + row.Fault)
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		}
+		return '_'
+	}, slug)
+	ext := filepath.Ext(monitorBasePath)
+	base := strings.TrimSuffix(monitorBasePath, ext)
+	write := func(kind string, emit func(w *os.File) error) {
+		path := fmt.Sprintf("%s-%s-%s.csv", base, slug, kind)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monitorsweep %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		err = emit(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monitorsweep %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		fmt.Printf("monitorsweep: %s\n", path)
+	}
+	write("windows", func(f *os.File) error { return row.Monitor.WriteWindowsCSV(f) })
+	write("alerts", func(f *os.File) error { return row.Monitor.WriteAlertsCSV(f) })
 }
 
 func runTraceSweep(scale experiments.Scale) {

@@ -8,6 +8,11 @@
 //	danausctl -config D -pools 4 -workload fileserver -duration 5s
 //	danausctl -config K -pools 2 -workload seqwrite -neighbor rnd
 //	danausctl -config F/F -pools 1 -workload kvput -clones 8
+//
+// The monitor subcommand pretty-prints the live-telemetry artifacts
+// written by `danausbench -exp monitorsweep -monitor <base>`:
+//
+//	danausctl monitor -windows m-k-overload-windows.csv -alerts m-k-overload-alerts.csv
 package main
 
 import (
@@ -26,6 +31,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "monitor" {
+		runMonitorCmd(os.Args[2:])
+		return
+	}
 	configName := flag.String("config", "D", "client configuration: D K F FP K/K F/K F/F FP/FP")
 	pools := flag.Int("pools", 1, "container pools (2 cores each)")
 	workload := flag.String("workload", "fileserver", "fileserver | seqwrite | seqread | kvput")

@@ -17,6 +17,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Testbed is the full experimental environment: the multicore client
@@ -42,6 +43,9 @@ type Testbed struct {
 	// unprotected, the historical behaviour). Pools created after it is
 	// set get admission control and circuit breakers.
 	Overload *OverloadPolicy
+	// Monitor is the attached live telemetry monitor (nil = disabled).
+	// Set it via AttachMonitor after AttachObserver.
+	Monitor *telemetry.Monitor
 
 	pools   []*Pool
 	stopped bool

@@ -1,0 +1,545 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/vfsapi"
+	"repro/internal/workloads"
+)
+
+// MonitorCase is one point of the monitor-sweep family: a client
+// configuration running a victim tenant with a live telemetry monitor
+// and SLO burn-rate alerting attached, disturbed mid-measurement by
+// either an open-loop overload burst or a client crash. The sweep is
+// the alerting story of the isolation argument: on the
+// admission-protected Danaus client the victim's alert fires during
+// the disturbance and clears once it passes, while the unprotected
+// kernel client accumulates an open-loop backlog that keeps the victim
+// in violation long after the burst stops.
+type MonitorCase struct {
+	Label     string
+	Config    core.Configuration
+	Protected bool
+	// Fault selects the disturbance: "overload" (aggressor burst in
+	// pool 1) or "crash" (client crash in the victim pool, host crash
+	// for the kernel client).
+	Fault string
+	Kind  faults.Kind // crash kind when Fault == "crash"
+}
+
+// MonitorRow is the outcome of one monitor case.
+type MonitorRow struct {
+	Label     string
+	Config    core.Configuration
+	Protected bool
+	Fault     string
+
+	// SLOTarget is the calibrated latency target (overload cases): a
+	// multiple of the same configuration's unloaded victim p99.
+	SLOTarget time.Duration
+
+	// Victim alert accounting for the monitored SLO.
+	VictimFired   int
+	VictimCleared int
+	// VictimActiveEnd reports whether the victim alert was still firing
+	// at the end of the measurement window — the sustained-violation
+	// signal. It is judged at MeasureEnd, not at engine drain: once the
+	// workload stops, a starved victim produces no more ops, its windows
+	// go quiet, and the slow burn decays — a clear earned by silence, not
+	// by recovery.
+	VictimActiveEnd bool
+	// MeasureEnd is the absolute virtual time the measurement window
+	// closed; alert accounting above ignores ledger events after it.
+	MeasureEnd time.Duration
+	FirstFire  time.Duration // relative to measurement start (0 = never)
+	LastClear  time.Duration
+	// BystanderFired counts alerts on the other tenant — the alerting
+	// view of blast radius.
+	BystanderFired int
+
+	Windows int // window rows emitted for all tenants
+
+	// Monitor is the run's telemetry monitor, finalized; danausbench
+	// exports its windows CSV and alert ledger.
+	Monitor *telemetry.Monitor
+	// Alerts is the full ledger (Monitor.Alerts, kept for convenience).
+	Alerts []telemetry.AlertEvent
+}
+
+// Monitor sweep geometry, all relative to the measurement window so
+// the sweep is scale-invariant: the fast window is 1/20 of the
+// measurement (100ms at quick scale, 6s at paper scale), the slow
+// confirmation window 5 fast windows, and the disturbance spans
+// [20%, 45%] of the measurement so the post-disturbance tail is long
+// enough for a recovered tenant's alert to clear.
+const (
+	monFastFrac    = 20
+	monSlowFastN   = 5
+	monFaultStart  = 0.20
+	monFaultEnd    = 0.45
+	monTargetScale = 1.25 // SLO target = monTargetScale x unloaded p99
+	// monBurstMult sizes the burst so the unprotected client's open-loop
+	// backlog outlives the post-burst measurement tail: the kernel
+	// client drains roughly 45k ops/s, so 48x the base rate leaves it
+	// saturated well past measurement end while the admission-protected
+	// client sheds the excess and recovers within a few fast windows.
+	monBurstMult = 48
+)
+
+// monVictimSLO is the name of the victim's monitored SLO.
+const monVictimSLO = "victim-p99"
+
+// MonitorCases returns the sweep: the protected Danaus client versus
+// the unprotected kernel client, each under the overload burst and its
+// native crash kind.
+func MonitorCases() []MonitorCase {
+	return []MonitorCase{
+		{Label: "D+adm", Config: core.ConfigD, Protected: true, Fault: "overload"},
+		{Label: "K", Config: core.ConfigK, Protected: false, Fault: "overload"},
+		{Label: "D+adm", Config: core.ConfigD, Protected: true, Fault: "crash", Kind: faults.DanausCrash},
+		{Label: "K", Config: core.ConfigK, Protected: false, Fault: "crash", Kind: faults.HostCrash},
+	}
+}
+
+// RunMonitorSweep executes every case.
+func RunMonitorSweep(scale Scale) []MonitorRow {
+	cases := MonitorCases()
+	rows := make([]MonitorRow, 0, len(cases))
+	for _, c := range cases {
+		rows = append(rows, RunMonitorCase(c, scale))
+	}
+	return rows
+}
+
+// monitorConfig derives the monitor windows from the scale.
+func monitorConfig(scale Scale, slos []telemetry.SLO) telemetry.Config {
+	fast := scale.Duration / monFastFrac
+	if fast < time.Millisecond {
+		fast = time.Millisecond
+	}
+	return telemetry.Config{
+		FastWindow: fast,
+		SlowWindow: monSlowFastN * fast,
+		// The monitor ticker closes windows through event gaps (a
+		// starved victim stops producing events exactly when the alert
+		// must keep evaluating) and samples queue depth peaks.
+		SampleInterval: fast / 4,
+		SLOs:           slos,
+	}
+}
+
+// calibrateVictim measures the victim's unloaded baseline for the
+// configuration: the same testbed, pools, and reader, no disturbance,
+// no monitor. It returns the p99 latency and the completions per fast
+// window. The overload SLO is set from both, which is what a
+// production burn-rate SLO would be: a latency target and a throughput
+// floor derived from the service's own baseline.
+func calibrateVictim(c MonitorCase, scale Scale) (time.Duration, uint64) {
+	tb, victim, _ := monitorTestbed(c, scale, nil)
+	stats := workloads.NewStats()
+	runMonitorLoad(tb, victim, nil, nil, scale, stats, nil)
+	return stats.Latency.Quantile(0.99), stats.Ops.Ops / monFastFrac
+}
+
+// monitorTestbed builds the two-pool testbed for a case: victim pool
+// 0, aggressor/bystander pool 1, overload protection per the case.
+// When mon is non-nil, an observability recorder and the monitor are
+// attached BEFORE the pools are created, so every mount gets the
+// traced facade that feeds the monitor.
+func monitorTestbed(c MonitorCase, scale Scale, mon *telemetry.Monitor) (*core.Testbed, *core.Container, *core.Container) {
+	var pol *core.OverloadPolicy
+	if c.Protected {
+		pol = &core.OverloadPolicy{RetrySeed: 1}
+	}
+	tb := core.NewTestbed(core.TestbedConfig{Cores: 4, Params: scale.Params(), Overload: pol})
+	if mon != nil {
+		tb.AttachObserver(obs.New(obs.Config{Clock: tb.Eng.Now}))
+		tb.AttachMonitor(mon)
+	}
+	r := &rig{tb: tb}
+	_, victim, err := r.flsContainer(0, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+	_, agg, err := r.flsContainer(1, c.Config, scale)
+	if err != nil {
+		panic(err)
+	}
+	return tb, victim, agg
+}
+
+// monitorBurst describes the open-loop disturbance of an overload
+// case; From/Stop are resolved against the measurement window once
+// preparation has finished.
+type monitorBurst struct {
+	Rate       float64
+	From, Stop time.Duration // absolute virtual times
+	Agg        *core.Container
+}
+
+// runMonitorLoad drives one monitored run: the victim reads a cold
+// dataset closed-loop for the whole measurement; byst, when non-nil,
+// runs a warm reader in the other pool (the bystander whose alerts
+// measure blast radius); crashPlan, when non-nil, is installed at
+// measurement start. SLO counting on mon is armed at measurement start
+// so cache-cold warmup latencies stay out of the ledger. The victim's
+// measured latencies land in vicStats; the return value is the
+// absolute virtual time the measurement ended.
+func runMonitorLoad(tb *core.Testbed, victim, byst *core.Container, mon *telemetry.Monitor, scale Scale, vicStats *workloads.Stats, crashPlan *faults.Plan) time.Duration {
+	r := &rig{tb: tb}
+	coldSize := scale.PoolMem() + scale.PoolMem()/2
+	const readChunk = 128 << 10
+	const warmSize = 16 << 20
+	var measureEnd time.Duration
+
+	r.runMaster(func(p *sim.Proc) {
+		preps := []func(pp *sim.Proc){func(pp *sim.Proc) {
+			prepColdFile(pp, victim, "/cold", coldSize)
+		}}
+		if byst != nil {
+			preps = append(preps, func(pp *sim.Proc) {
+				// Written through the same path as the cold file; at
+				// 16MB it stays resident in the bystander's cache.
+				prepColdFile(pp, byst, "/warm", warmSize)
+			})
+		}
+		prepare(p, r.tb.Eng, preps...)
+
+		clock := clockFor(r.tb.Eng, scale)
+		measureEnd = clock.Stop
+		mon.ArmSLOs(clock.From, clock.Stop)
+		if crashPlan != nil {
+			if _, err := faults.InstallWithTargets(r.tb.Eng, r.tb.Cluster, r.tb, *crashPlan, clock.From); err != nil {
+				panic(err)
+			}
+		}
+
+		g := workloads.NewGroup(r.tb.Eng)
+		g.Go("victim-reader", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer func() { h.Close(ctx) }()
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, readChunk)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						vicStats.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+					// A crash invalidates the handle; reopen once the
+					// client is back.
+					if nh, oerr := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY); oerr == nil {
+						h.Close(ctx)
+						h = nh
+					}
+				} else if clock.Measuring() {
+					vicStats.Record(n, now-start)
+				}
+				off += readChunk
+				if off >= coldSize {
+					off = 0
+				}
+			}
+		})
+		if byst != nil {
+			g.Go("bystander-reader", func(pp *sim.Proc) {
+				ctx := vfsapi.Ctx{P: pp, T: byst.NewThread()}
+				h, err := byst.Mount.Default.Open(ctx, "/warm", vfsapi.RDONLY)
+				if err != nil {
+					panic(err)
+				}
+				defer func() { h.Close(ctx) }()
+				var off int64
+				for !clock.Done() {
+					_, rerr := h.Read(ctx, off, readChunk)
+					if rerr != nil {
+						pp.Sleep(time.Millisecond)
+						if nh, oerr := byst.Mount.Default.Open(ctx, "/warm", vfsapi.RDONLY); oerr == nil {
+							h.Close(ctx)
+							h = nh
+						}
+					}
+					off += readChunk
+					if off >= warmSize {
+						off = 0
+					}
+				}
+			})
+		}
+		g.Wait(p)
+	})
+	return measureEnd
+}
+
+// prepColdFile writes and fsyncs a cache-overflowing dataset.
+func prepColdFile(pp *sim.Proc, cont *core.Container, path string, size int64) {
+	ctx := vfsapi.Ctx{P: pp, T: cont.NewThread()}
+	h, err := cont.Mount.Default.Open(ctx, path, vfsapi.CREATE|vfsapi.WRONLY)
+	if err != nil {
+		panic(err)
+	}
+	for written := int64(0); written < size; written += 1 << 20 {
+		if _, err := h.Append(ctx, 1<<20); err != nil {
+			panic(err)
+		}
+	}
+	if err := h.Fsync(ctx); err != nil {
+		panic(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		panic(err)
+	}
+}
+
+// RunMonitorCase runs one monitored point. Overload cases first run an
+// unloaded calibration pass to set the victim's latency SLO target,
+// then the monitored run with the burst; crash cases monitor an
+// error-rate SLO (a crash is an availability event, not a latency
+// one). The case manages its own recorder and monitor — the sweep is
+// about the monitor, so it is always attached regardless of the
+// harness's -obs flags.
+func RunMonitorCase(c MonitorCase, scale Scale) MonitorRow {
+	row := MonitorRow{Label: c.Label, Config: c.Config, Protected: c.Protected, Fault: c.Fault}
+
+	var slos []telemetry.SLO
+	if c.Fault == "overload" {
+		base, opsPerWin := calibrateVictim(c, scale)
+		if base <= 0 {
+			base = time.Millisecond
+		}
+		row.SLOTarget = time.Duration(float64(base) * monTargetScale)
+		slos = []telemetry.SLO{{
+			Name: monVictimSLO, Tenant: "fls0", Op: "read",
+			Target: row.SLOTarget,
+			// MinOps 1 plus a throughput floor at half the calibrated
+			// rate: a starved victim completes almost nothing, so the
+			// shortfall itself must burn budget — gating on completion
+			// volume alone would mute the worst case.
+			Budget: 0.05, FireBurn: 1.5, ClearBurn: 1, MinOps: 1,
+			ExpectedOps: opsPerWin / 2,
+		}}
+	} else {
+		slos = []telemetry.SLO{{
+			Name: monVictimSLO, Op: "read",
+			Budget: 0.05, FireBurn: 4, ClearBurn: 1, MinOps: 1,
+		}}
+	}
+
+	mon := telemetry.New(monitorConfig(scale, slos))
+	// Mute SLO counting until the load function knows the measurement
+	// interval and arms it: without this, preparation windows with no
+	// reads would trip the throughput floor before the workload exists.
+	mon.ArmSLOs(time.Duration(1<<62), 0)
+	tb, victim, agg := monitorTestbed(c, scale, mon)
+
+	vicStats := workloads.NewStats()
+	switch c.Fault {
+	case "overload":
+		b := &monitorBurst{Rate: overloadBaseRate * monBurstMult, Agg: agg}
+		row.MeasureEnd = runMonitorLoadWithBurstWindow(tb, victim, b, mon, scale, vicStats)
+	case "crash":
+		plan := faults.Plan{Windows: []faults.Window{{
+			Kind:   c.Kind,
+			Tenant: monCrashTenant(c.Kind),
+			Start:  time.Duration(float64(scale.Duration) * monFaultStart),
+			End:    time.Duration(float64(scale.Duration) * monFaultEnd),
+		}}}
+		row.MeasureEnd = runMonitorLoad(tb, victim, agg, mon, scale, vicStats, &plan)
+	default:
+		panic("monitorsweep: unknown fault " + c.Fault)
+	}
+
+	tb.Obs.Finalize()
+	row.Monitor = mon
+	row.Alerts = mon.Alerts()
+	row.Windows = len(mon.Windows())
+	summarizeAlerts(&row)
+	return row
+}
+
+// runMonitorLoadWithBurstWindow is runMonitorLoad plus the open-loop
+// burst: the aggressor offers b.Rate inside [monFaultStart,
+// monFaultEnd] of the measurement window, resolved after preparation.
+// Returns the absolute virtual time the measurement ended.
+func runMonitorLoadWithBurstWindow(tb *core.Testbed, victim *core.Container, b *monitorBurst, mon *telemetry.Monitor, scale Scale, vicStats *workloads.Stats) time.Duration {
+	r := &rig{tb: tb}
+	coldSize := scale.PoolMem() + scale.PoolMem()/2
+	const readChunk = 128 << 10
+	var measureEnd time.Duration
+
+	r.runMaster(func(p *sim.Proc) {
+		prepare(p, r.tb.Eng,
+			func(pp *sim.Proc) { prepColdFile(pp, victim, "/cold", coldSize) },
+			func(pp *sim.Proc) { prepColdFile(pp, b.Agg, "/cold", coldSize) },
+		)
+
+		clock := clockFor(r.tb.Eng, scale)
+		measureEnd = clock.Stop
+		mon.ArmSLOs(clock.From, clock.Stop)
+		b.From = clock.From + time.Duration(float64(scale.Duration)*monFaultStart)
+		b.Stop = clock.From + time.Duration(float64(scale.Duration)*monFaultEnd)
+
+		g := workloads.NewGroup(r.tb.Eng)
+		g.Go("victim-reader", func(pp *sim.Proc) {
+			ctx := vfsapi.Ctx{P: pp, T: victim.NewThread()}
+			h, err := victim.Mount.Default.Open(ctx, "/cold", vfsapi.RDONLY)
+			if err != nil {
+				panic(err)
+			}
+			defer func() { h.Close(ctx) }()
+			var off int64
+			for !clock.Done() {
+				start := pp.Now()
+				n, rerr := h.Read(ctx, off, readChunk)
+				now := pp.Now()
+				if rerr != nil {
+					if clock.Measuring() {
+						vicStats.Errors++
+					}
+					pp.Sleep(time.Millisecond)
+				} else if clock.Measuring() {
+					vicStats.Record(n, now-start)
+				}
+				off += readChunk
+				if off >= coldSize {
+					off = 0
+				}
+			}
+		})
+		g.Go("burst-starter", func(pp *sim.Proc) {
+			if wait := b.From - pp.Now(); wait > 0 {
+				pp.Sleep(wait)
+			}
+			ol := &workloads.OpenLoop{
+				FS:        b.Agg.Mount.Default,
+				Path:      "/cold",
+				FileSize:  coldSize,
+				OpSize:    overloadOpSize,
+				Rate:      b.Rate,
+				Seed:      42,
+				NewThread: b.Agg.NewThread,
+			}
+			ol.Run(g, workloads.Clock{Eng: r.tb.Eng, From: b.From, Stop: b.Stop})
+		})
+		g.Wait(p)
+	})
+	return measureEnd
+}
+
+func monCrashTenant(k faults.Kind) string {
+	if k == faults.HostCrash {
+		return ""
+	}
+	return "fls0"
+}
+
+// summarizeAlerts folds the ledger into the row's victim/bystander
+// accounting. Only events up to MeasureEnd count: after the workload
+// stops, the engine drain closes empty victim windows whose silence
+// decays the slow burn — a "clear" that reflects absence of traffic,
+// not recovery. The full ledger (drain events included) stays on the
+// row for export.
+func summarizeAlerts(row *MonitorRow) {
+	active := map[string]bool{}
+	for _, e := range row.Alerts {
+		if row.MeasureEnd > 0 && e.T > row.MeasureEnd {
+			break
+		}
+		key := e.Tenant + "/" + e.SLO
+		victim := e.Tenant == "fls0" && e.SLO == monVictimSLO
+		switch e.State {
+		case telemetry.AlertFiring:
+			active[key] = true
+			if victim {
+				row.VictimFired++
+				if row.FirstFire == 0 {
+					row.FirstFire = e.T
+				}
+			} else {
+				row.BystanderFired++
+			}
+		case telemetry.AlertClear:
+			delete(active, key)
+			if victim {
+				row.VictimCleared++
+				row.LastClear = e.T
+			}
+		}
+	}
+	row.VictimActiveEnd = active["fls0/"+monVictimSLO]
+}
+
+// MonitorRowViolations checks the alerting invariants on one row —
+// the acceptance assertions of the sweep. Overload: the protected
+// Danaus client must fire the victim's burn-rate alert during the
+// burst AND clear it before the run ends, while the unprotected kernel
+// client must fire and still be in violation at drain (the open-loop
+// backlog outlives the burst). Crash: the victim's error alert must
+// fire and clear on the tenant-scoped Danaus crash with the bystander
+// untouched; the host crash must alert both tenants. Returns
+// human-readable violations (empty = clean).
+func MonitorRowViolations(r MonitorRow) []string {
+	var v []string
+	tag := fmt.Sprintf("monitorsweep %s %s", r.Label, r.Fault)
+	if r.VictimFired == 0 {
+		v = append(v, tag+": victim alert never fired")
+		return v
+	}
+	switch r.Fault {
+	case "overload":
+		if r.Protected {
+			if r.VictimCleared == 0 {
+				v = append(v, tag+": protected victim alert never cleared")
+			}
+			if r.VictimActiveEnd {
+				v = append(v, tag+": protected victim alert still firing at drain")
+			}
+		} else {
+			if !r.VictimActiveEnd {
+				v = append(v, tag+": unprotected victim recovered — expected sustained violation")
+			}
+		}
+	case "crash":
+		if r.Protected {
+			if r.VictimCleared == 0 {
+				v = append(v, tag+": victim error alert never cleared after recovery")
+			}
+			if r.BystanderFired != 0 {
+				v = append(v, fmt.Sprintf("%s: containment violated: %d bystander alerts", tag, r.BystanderFired))
+			}
+		} else {
+			if r.BystanderFired == 0 {
+				v = append(v, tag+": host crash raised no bystander alert")
+			}
+		}
+	}
+	return v
+}
+
+// String renders a row for the harness.
+func (r MonitorRow) String() string {
+	prot := "off"
+	if r.Protected {
+		prot = "on"
+	}
+	end := "clear"
+	if r.VictimActiveEnd {
+		end = "FIRING"
+	}
+	return fmt.Sprintf("%-5s %-4s prot=%-3s %-8s target=%-12v fired=%d cleared=%d end=%-6s first=%-12v lastclear=%-12v byst=%d windows=%d",
+		r.Label, r.Config, prot, r.Fault, r.SLOTarget,
+		r.VictimFired, r.VictimCleared, end, r.FirstFire, r.LastClear,
+		r.BystanderFired, r.Windows)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // runObserved runs one fault-sweep case with an engine event counter
@@ -105,5 +106,66 @@ func TestObservabilityZeroOverhead(t *testing.T) {
 	}
 	if len(rec.Slices()) == 0 {
 		t.Fatal("recorder with sampler off should still record spans")
+	}
+}
+
+// runMonitored mirrors runObserved but additionally attaches a
+// telemetry Monitor behind the recorder. With SampleInterval 0 the
+// monitor is purely event-driven: it must see every facade op while
+// adding zero engine events.
+func runMonitored() (FaultSweepRow, *telemetry.Monitor, int) {
+	var mon *telemetry.Monitor
+	events := 0
+	Observer = func(tb *core.Testbed) {
+		tb.Eng.SetTracer(func(sim.TraceEvent) { events++ })
+		rec := obs.New(obs.Config{
+			Clock:          tb.Eng.Now,
+			SampleInterval: 0,
+			MaxEvents:      200_000,
+		})
+		tb.AttachObserver(rec)
+		mon = telemetry.New(telemetry.Config{
+			FastWindow:     50 * time.Millisecond,
+			SlowWindow:     250 * time.Millisecond,
+			SampleInterval: 0,
+			SLOs:           []telemetry.SLO{{Name: "err-burn", Budget: 0.02}},
+		})
+		tb.AttachMonitor(mon)
+	}
+	defer func() { Observer = nil }()
+	row := RunFaultSweep(FaultSweepCases(QuickScale)[0], QuickScale)
+	return row, mon, events
+}
+
+// TestTelemetryZeroOverhead extends the zero-overhead contract one
+// layer up: attaching a telemetry Monitor with its ticker disabled
+// (SampleInterval 0) must leave the engine schedule event-identical to
+// a bare run and change no results, while the monitor still aggregates
+// windows and totals from the event stream alone.
+func TestTelemetryZeroOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rowOff, _, eventsOff := runObserved(-1)
+	rowOn, mon, eventsOn := runMonitored()
+	if rowOff != rowOn {
+		t.Fatalf("monitor changed results:\n  %+v\nvs\n  %+v", rowOff, rowOn)
+	}
+	if eventsOff != eventsOn {
+		t.Fatalf("monitor changed the engine schedule: %d events without, %d with", eventsOff, eventsOn)
+	}
+	if len(mon.Windows()) == 0 {
+		t.Fatal("event-driven monitor closed no windows")
+	}
+	tot := mon.Totals()
+	if len(tot) == 0 {
+		t.Fatal("event-driven monitor collected no totals")
+	}
+	var ops uint64
+	for _, tt := range tot {
+		ops += tt.Ops
+	}
+	if ops == 0 {
+		t.Fatal("event-driven monitor counted zero ops")
 	}
 }

@@ -127,6 +127,49 @@ func TestGenerateDrawsTraceReplayDimension(t *testing.T) {
 	}
 }
 
+// TestTelemetryScenarioRuns pushes one monitored scenario — with a
+// client crash so the error-rate SLO has something to burn on (fault
+// windows alone are absorbed by client retries and never error at the
+// facade) — through the full pipeline: the monitor must see ops and
+// close windows, the ledger must record the outage, and every invariant
+// — including telemetry-consistency — must hold.
+func TestTelemetryScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Seed: 17, Config: core.ConfigD, Replication: 2, Factor: 0.01, CacheFrac: 2,
+		Warmup: 10 * time.Millisecond, Duration: 80 * time.Millisecond,
+		Crash:     "danaus-crash:victim:20ms-45ms",
+		Tenants:   []Tenant{{Workload: "randio", Threads: 1}},
+		Telemetry: true,
+	}
+	o := Evaluate(sc)
+	if vs := CheckAll(o); len(vs) > 0 {
+		t.Fatalf("telemetry scenario violates invariants: %v", vs)
+	}
+	if len(o.Full.TelTotals) == 0 || o.Full.TelWindows == 0 {
+		t.Fatalf("monitor saw nothing: %s", o.Full.Summary)
+	}
+	if o.Full.TelAlerts == 0 {
+		t.Fatalf("a 25ms client outage burned no error budget: %s", o.Full.Summary)
+	}
+	if o.Full.TelHash != o.Replay.TelHash {
+		t.Fatalf("telemetry artifacts diverged: %s vs %s", o.Full.TelHash, o.Replay.TelHash)
+	}
+}
+
+// TestGenerateDrawsTelemetryDimension confirms the telemetry dimension
+// appears in a sweep-sized sample.
+func TestGenerateDrawsTelemetryDimension(t *testing.T) {
+	n := 0
+	for i := 0; i < 100; i++ {
+		if Generate(1, i).Telemetry {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d/100 scenarios drew the telemetry dimension", n)
+	}
+}
+
 // Generation is a pure function of (baseSeed, index).
 func TestGenerateDeterministic(t *testing.T) {
 	for i := 0; i < 20; i++ {

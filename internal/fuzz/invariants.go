@@ -50,7 +50,77 @@ func Checkers() []Checker {
 		{Name: "admission-accounting", Check: checkAdmissionAccounting},
 		{Name: "crash-consistency", Check: checkCrashConsistency},
 		{Name: "trace-replay-determinism", Check: checkTraceReplay},
+		{Name: "telemetry-consistency", Check: checkTelemetry},
 	}
+}
+
+// checkTelemetry: with the telemetry dimension active, the monitor must
+// have seen ops, its windowed per-(tenant, op) sums must equal the
+// metrics registry's facade counters exactly (same events, counted once
+// each, through two independent pipelines), and the exported telemetry
+// artifacts must be byte-identical across the replay.
+func checkTelemetry(o *Outcome) []string {
+	if !o.Scenario.Telemetry {
+		return nil
+	}
+	var out []string
+	for _, lr := range o.runs() {
+		label, r := lr.label, lr.res
+		if len(r.TelTotals) == 0 {
+			out = append(out, label+": telemetry monitor attached but saw no ops")
+			continue
+		}
+		if r.TelWindows == 0 {
+			out = append(out, label+": telemetry monitor closed no windows")
+		}
+		bad := 0
+		for _, d := range diffOpCounts(r.TelTotals, r.TelRegistry) {
+			bad++
+			if bad <= 3 {
+				out = append(out, label+": "+d)
+			}
+		}
+		if bad > 3 {
+			out = append(out, fmt.Sprintf("%s: ... and %d more telemetry count mismatches", label, bad-3))
+		}
+	}
+	if o.Replay != nil && o.Full.TelHash != o.Replay.TelHash {
+		out = append(out, fmt.Sprintf("telemetry artifacts diverged between run and replay: %s vs %s",
+			o.Full.TelHash[:12], o.Replay.TelHash[:12]))
+	}
+	return out
+}
+
+// diffOpCounts compares the monitor-side and registry-side aggregates
+// entry by entry. Both slices are sorted by (tenant, op), so a merge
+// walk names every entry missing from one side as well as every
+// counter mismatch.
+func diffOpCounts(mon, reg []TelOpCount) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(mon) || j < len(reg) {
+		switch {
+		case j >= len(reg) || (i < len(mon) && (mon[i].Tenant < reg[j].Tenant ||
+			(mon[i].Tenant == reg[j].Tenant && mon[i].Op < reg[j].Op))):
+			out = append(out, fmt.Sprintf("%s/%s: monitor counted %d ops the registry never saw",
+				mon[i].Tenant, mon[i].Op, mon[i].Ops))
+			i++
+		case i >= len(mon) || mon[i].Tenant != reg[j].Tenant || mon[i].Op != reg[j].Op:
+			out = append(out, fmt.Sprintf("%s/%s: registry counted %d ops the monitor never saw",
+				reg[j].Tenant, reg[j].Op, reg[j].Ops))
+			j++
+		default:
+			if mon[i] != reg[j] {
+				out = append(out, fmt.Sprintf("%s/%s: monitor %d ops/%d err/%d B/mean %v != registry %d ops/%d err/%d B/mean %v",
+					mon[i].Tenant, mon[i].Op,
+					mon[i].Ops, mon[i].Errors, mon[i].Bytes, mon[i].Mean,
+					reg[j].Ops, reg[j].Errors, reg[j].Bytes, reg[j].Mean))
+			}
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // checkTraceReplay: with the trace dimension active, the run must have

@@ -273,6 +273,91 @@ func TestCheckerFiresOnSequenceRewrite(t *testing.T) {
 	only(t, o, "trace-replay-determinism")
 }
 
+// telemetryOutcome decorates the clean outcome with the telemetry
+// dimension and consistent evidence: monitor totals equal to the
+// registry counters, closed windows, and matching artifact hashes
+// across the replay.
+func telemetryOutcome() *Outcome {
+	o := cleanOutcome()
+	o.Scenario.Telemetry = true
+	counts := []TelOpCount{
+		{Tenant: "victim", Op: "fsync", Ops: 100, Bytes: 1 << 20, Mean: time.Millisecond},
+		{Tenant: "victim", Op: "read", Ops: 100, Bytes: 4 << 20, Mean: 2 * time.Millisecond},
+	}
+	for _, r := range []*Result{o.Full, o.Replay, o.Solo} {
+		r.TelTotals = append([]TelOpCount{}, counts...)
+		r.TelRegistry = append([]TelOpCount{}, counts...)
+		r.TelWindows = 8
+		r.TelAlerts = 2
+		r.TelHash = "c0ffeec0ffeec0ffeec0ffee"
+	}
+	return o
+}
+
+func TestCleanTelemetryOutcomePassesAllCheckers(t *testing.T) {
+	if vs := CheckAll(telemetryOutcome()); len(vs) != 0 {
+		t.Fatalf("clean telemetry outcome violates: %v", vs)
+	}
+}
+
+func TestCheckerFiresOnTelemetryNoOps(t *testing.T) {
+	o := telemetryOutcome()
+	o.Full.TelTotals = nil
+	only(t, o, "telemetry-consistency")
+}
+
+func TestCheckerFiresOnTelemetryNoWindows(t *testing.T) {
+	o := telemetryOutcome()
+	o.Replay.TelWindows = 0
+	only(t, o, "telemetry-consistency")
+}
+
+func TestCheckerFiresOnTelemetryCountDrift(t *testing.T) {
+	o := telemetryOutcome()
+	// The lost-window bug: one windowed op never folded into the totals.
+	o.Full.TelTotals[1].Ops--
+	only(t, o, "telemetry-consistency")
+}
+
+func TestCheckerFiresOnTelemetryRegistryOnlyOp(t *testing.T) {
+	o := telemetryOutcome()
+	// A facade op the telemetry sink never received.
+	o.Solo.TelRegistry = append(o.Solo.TelRegistry, TelOpCount{Tenant: "victim", Op: "stat", Ops: 3})
+	only(t, o, "telemetry-consistency")
+}
+
+func TestCheckerFiresOnTelemetryMonitorOnlyOp(t *testing.T) {
+	o := telemetryOutcome()
+	// The double-ingestion bug: the monitor counted an op stream the
+	// registry has no record of.
+	o.Full.TelTotals = append(o.Full.TelTotals, TelOpCount{Tenant: "zz", Op: "read", Ops: 9})
+	only(t, o, "telemetry-consistency")
+}
+
+func TestCheckerFiresOnTelemetryHashDivergence(t *testing.T) {
+	o := telemetryOutcome()
+	o.Replay.TelHash = "deadbeefdeadbeefdeadbeef"
+	only(t, o, "telemetry-consistency")
+}
+
+func TestTelemetryMismatchOverflowCap(t *testing.T) {
+	o := telemetryOutcome()
+	// Drift every counter on both runs' first entries plus extras so the
+	// per-run cap (3 details + 1 overflow line) engages.
+	for i := 0; i < 6; i++ {
+		o.Full.TelRegistry = append(o.Full.TelRegistry, TelOpCount{Tenant: "z", Op: string(rune('a' + i)), Ops: 1})
+	}
+	vs := CheckAll(o)
+	if len(vs) != 4 {
+		t.Fatalf("got %d violations, want 3 detailed + 1 overflow: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Checker != "telemetry-consistency" {
+			t.Fatalf("unexpected violation %v", v)
+		}
+	}
+}
+
 // Every checker in the registry must be exercised by a mutation above;
 // this guards against registering a new invariant without a dead-oracle
 // test.
@@ -288,6 +373,7 @@ func TestEveryCheckerHasAMutation(t *testing.T) {
 		"admission-accounting":     true,
 		"crash-consistency":        true,
 		"trace-replay-determinism": true,
+		"telemetry-consistency":    true,
 	}
 	for _, c := range Checkers() {
 		if !covered[c.Name] {

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vfsapi"
 	"repro/internal/workloads"
@@ -72,6 +74,18 @@ type Result struct {
 	TraceOps  int
 	TraceHash string
 
+	// Telemetry dimension evidence (empty unless the scenario attaches
+	// the live monitor): the monitor's per-(tenant, op) running sums
+	// folded from its closed windows, the registry's facade-op counters
+	// they must equal, closed-window and alert-ledger sizes, and a
+	// SHA-256 over the windows/alerts/totals CSV exports (the artifact-
+	// determinism fingerprint of the telemetry layer).
+	TelTotals   []TelOpCount
+	TelRegistry []TelOpCount
+	TelWindows  int
+	TelAlerts   int
+	TelHash     string
+
 	// Leaked lists spans opened but never ended at engine drain.
 	Leaked []string
 	// Unattributed counts waits observed with no bound span.
@@ -91,6 +105,21 @@ type TenantAdmission struct {
 	Tenant   string
 	QueueCap int
 	Stats    vfsapi.AdmissionStats
+}
+
+// TelOpCount is one (tenant, op) aggregate in the telemetry-consistency
+// comparison: the same shape is filled from the monitor's windowed
+// totals and from the obs metrics registry, and the two must match
+// exactly. Mean stands in for the latency sum (the registry histogram
+// exposes only the mean, which is the exact sum over the exact count on
+// both sides).
+type TelOpCount struct {
+	Tenant string
+	Op     string
+	Ops    uint64
+	Errors uint64
+	Bytes  int64
+	Mean   time.Duration
 }
 
 // Evaluate runs a scenario through the full pipeline the checkers
@@ -154,6 +183,23 @@ func RunScenario(sc Scenario, solo bool) *Result {
 	rec := obs.New(obs.Config{Clock: tb.Eng.Now})
 	tb.AttachObserver(rec)
 	tb.Cluster.SetReplication(sc.Replication)
+
+	var mon *telemetry.Monitor
+	if sc.Telemetry {
+		// Fast windows at 1/8 of the measurement window give every run a
+		// handful of closed windows to fold; the error-rate SLO gives the
+		// alert ledger coverage whenever a fault schedule pushes errors.
+		// SampleInterval stays zero so the monitor adds no engine events
+		// and the schedule is event-for-event the unmonitored one.
+		mon = telemetry.New(telemetry.Config{
+			FastWindow: sc.Duration / 8,
+			SlowWindow: sc.Duration / 2,
+			SLOs: []telemetry.SLO{
+				{Name: "err-burn", Budget: 0.02, FireBurn: 2, ClearBurn: 1, MinOps: 1},
+			},
+		})
+		tb.AttachMonitor(mon)
+	}
 
 	var capRec *trace.Recorder
 	if sc.TraceReplay {
@@ -513,6 +559,13 @@ func RunScenario(sc Scenario, solo bool) *Result {
 	}
 
 	rec.Finalize()
+	if mon != nil {
+		res.TelTotals = monitorOpCounts(mon)
+		res.TelRegistry = registryOpCounts(rec.Registry())
+		res.TelWindows = len(mon.Windows())
+		res.TelAlerts = len(mon.Alerts())
+		res.TelHash = hashTelemetry(mon)
+	}
 	res.RegistryFaults = rec.Registry().Tenant("victim").Faults()
 	res.Leaked = rec.LeakedSpans()
 	res.Unattributed = rec.UnattributedWaits()
@@ -601,6 +654,72 @@ func replayTrace(sc Scenario, tr *trace.Trace) TraceReplayRun {
 	}
 }
 
+// monitorOpCounts flattens the monitor's running totals into the
+// comparison shape. Mean is the exact LatSum over the exact op count,
+// matching the registry histogram's Mean on the other side.
+func monitorOpCounts(mon *telemetry.Monitor) []TelOpCount {
+	var out []TelOpCount
+	for _, t := range mon.Totals() {
+		c := TelOpCount{Tenant: t.Tenant, Op: t.Op, Ops: t.Ops, Errors: t.Errors, Bytes: t.Bytes}
+		if t.Ops > 0 {
+			c.Mean = t.LatSum / time.Duration(t.Ops)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// registryOpCounts flattens the obs registry's per-(tenant, op)
+// counters into the comparison shape, sorted by tenant then op. The
+// "writeback" op is excluded: background writeback spans end in the
+// registry but never cross the facade, so the monitor legitimately
+// never sees them.
+func registryOpCounts(reg *obs.Registry) []TelOpCount {
+	var out []TelOpCount
+	tenants := make([]string, 0, len(reg.Tenants()))
+	for name := range reg.Tenants() {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		tm := reg.Tenants()[name]
+		ops := make([]string, 0, len(tm.Ops()))
+		for op := range tm.Ops() {
+			if op == "writeback" {
+				continue
+			}
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			st := tm.Ops()[op]
+			out = append(out, TelOpCount{
+				Tenant: name, Op: op,
+				Ops: st.Ops, Errors: st.Errors, Bytes: st.Bytes,
+				Mean: st.Hist.Mean(),
+			})
+		}
+	}
+	return out
+}
+
+// hashTelemetry fingerprints the monitor's exported artifacts — the
+// windows CSV, the alert ledger and the running totals — which must be
+// byte-identical across replays of one scenario.
+func hashTelemetry(mon *telemetry.Monitor) string {
+	h := sha256.New()
+	if err := mon.WriteWindowsCSV(h); err != nil {
+		panic(err)
+	}
+	if err := mon.WriteAlertsCSV(h); err != nil {
+		panic(err)
+	}
+	if err := mon.WriteTotalsCSV(h); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // hashArtifacts fingerprints the run's exported artifacts: the
 // Perfetto trace, the metrics JSON and the blame JSON, all of which
 // must be byte-identical across replays of one scenario.
@@ -648,6 +767,9 @@ func (r *Result) summaryLine() string {
 	}
 	if r.TraceOps > 0 {
 		s += fmt.Sprintf(" trace=%d/%s", r.TraceOps, r.TraceHash[:12])
+	}
+	if r.TelHash != "" {
+		s += fmt.Sprintf(" tel=%d/%d/%s", r.TelWindows, r.TelAlerts, r.TelHash[:12])
 	}
 	return s
 }

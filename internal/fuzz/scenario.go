@@ -75,6 +75,13 @@ type Scenario struct {
 	// determinism dimension: both replays must produce byte-identical
 	// schedules and preserve the recorded per-stream op sequence.
 	TraceReplay bool
+	// Telemetry attaches the live telemetry monitor
+	// (internal/telemetry) to the run — the telemetry-consistency
+	// dimension: the monitor's windowed per-(tenant, op) sums must equal
+	// the metrics registry's facade counters at drain, and the windows
+	// and alert-ledger artifacts must be byte-identical across the
+	// replay.
+	Telemetry bool
 }
 
 // tenantWorkloads are the generator's workload vocabulary.
@@ -178,6 +185,12 @@ func Generate(baseSeed int64, index int) Scenario {
 	// Trace-replay dimension, again drawn last: record the op stream and
 	// make replay determinism an invariant of the scenario.
 	sc.TraceReplay = r.chance(1, 3)
+
+	// Telemetry dimension, the newest draw (so every earlier draw of a
+	// given (seed, index) pair keeps its historical value): attach the
+	// live monitor and make the sum-of-windows == registry-totals
+	// identity an invariant of the scenario.
+	sc.Telemetry = r.chance(1, 3)
 	return sc
 }
 
@@ -213,9 +226,13 @@ func (sc Scenario) String() string {
 	if sc.TraceReplay {
 		tr = " tracereplay"
 	}
-	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s%s%s",
+	tel := ""
+	if sc.Telemetry {
+		tel = " telemetry"
+	}
+	return fmt.Sprintf("cfg=%v r=%d%s cache=1/%d f=%g win=%v+%v tenants=[%s] faults=%d%s%s%s%s",
 		sc.Config, sc.Replication, shared, sc.CacheFrac, sc.Factor,
-		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload, crash, tr)
+		sc.Warmup, sc.Duration, strings.Join(tenants, " "), len(sc.ScheduleWindows()), overload, crash, tr, tel)
 }
 
 // configNames maps Table 1 symbols to configurations for spec parsing.
@@ -272,6 +289,9 @@ func WriteSpec(w io.Writer, sc Scenario, header ...string) error {
 	if sc.TraceReplay {
 		fmt.Fprintln(bw, "tracereplay=true")
 	}
+	if sc.Telemetry {
+		fmt.Fprintln(bw, "telemetry=true")
+	}
 	for _, t := range sc.Tenants {
 		fmt.Fprintf(bw, "tenant=%s:%d\n", t.Workload, t.Threads)
 	}
@@ -321,6 +341,8 @@ func ParseSpec(r io.Reader) (Scenario, error) {
 			sc.Crash = val
 		case "tracereplay":
 			sc.TraceReplay, err = strconv.ParseBool(val)
+		case "telemetry":
+			sc.Telemetry, err = strconv.ParseBool(val)
 		case "tenant":
 			name, threads, ok := strings.Cut(val, ":")
 			if !ok {

@@ -132,6 +132,17 @@ func Shrink(sc Scenario, checker string, oracle Oracle, budget int) Scenario {
 			}
 		}
 
+		// Same for the telemetry dimension: its own checker needs it, any
+		// other failure shrinks to a monitor-free run.
+		if cur.Telemetry {
+			cand := cur
+			cand.Telemetry = false
+			if still(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
 		// Reduce tenant thread counts to one.
 		for i := range cur.Tenants {
 			if cur.Tenants[i].Threads <= 1 {

@@ -131,6 +131,14 @@ type Recorder struct {
 	// span (see OpDone). It is the feed of the trace recorder
 	// (internal/trace); nil means no per-op capture.
 	opSink func(OpEvent)
+
+	// telOp/telWait, when set, feed the live telemetry monitor
+	// (internal/telemetry via core.AttachMonitor). They coexist with
+	// opSink — trace capture and live monitoring can run in the same
+	// run — and share its contract: pure observations, no engine
+	// events, no extra clock reads beyond what OpDone already does.
+	telOp   func(OpEvent)
+	telWait func(victim, aggressor string, start, dur time.Duration)
 }
 
 // Sym is an interned string id, resolvable with Recorder.Str. Ids are
@@ -199,7 +207,8 @@ type OpEvent struct {
 	Path2   string // rename destination, "" otherwise
 	Flags   int    // open flags bitmask, 0 otherwise
 	Offset  int64
-	Len     int64
+	Len     int64         // requested length (reissue parameter)
+	Bytes   int64         // bytes actually served (short reads < Len)
 	Issue   time.Duration // span start (virtual time the op was issued)
 	Latency time.Duration
 	Err     bool
@@ -217,20 +226,40 @@ func (r *Recorder) SetOpSink(fn func(OpEvent)) {
 	r.opSink = fn
 }
 
-// OpDone feeds one completed operation to the op sink. The traced
-// facade calls it alongside Span.End with the reissue parameters the
-// span itself does not carry (path, flags, offset, length). No-op when
-// the recorder, the sink, or the span is nil — nested facade crossings
-// pass a nil span, so only the root of a request is captured.
-func (r *Recorder) OpDone(sp *Span, path, path2 string, flags int, off, n int64, err error) {
-	if r == nil || r.opSink == nil || sp == nil {
+// SetTelemetrySinks installs (or, with nil, removes) the live
+// telemetry feeds: op receives the same OpEvent stream as the op sink,
+// wait receives cross-tenant wait attributions (victim charged,
+// aggressor blamed) as they are observed. Both coexist with SetOpSink.
+// Nil-safe.
+func (r *Recorder) SetTelemetrySinks(op func(OpEvent), wait func(victim, aggressor string, start, dur time.Duration)) {
+	if r == nil {
 		return
 	}
-	r.opSink(OpEvent{
+	r.telOp = op
+	r.telWait = wait
+}
+
+// OpDone feeds one completed operation to the op sink and the
+// telemetry sink. The traced facade calls it alongside Span.End with
+// the reissue parameters the span itself does not carry (path, flags,
+// offset, length) plus the bytes actually served. No-op when the
+// recorder, every sink, or the span is nil — nested facade crossings
+// pass a nil span, so only the root of a request is captured.
+func (r *Recorder) OpDone(sp *Span, path, path2 string, flags int, off, n, served int64, err error) {
+	if r == nil || sp == nil || (r.opSink == nil && r.telOp == nil) {
+		return
+	}
+	e := OpEvent{
 		Proc: sp.proc, Tenant: sp.tenant, Op: sp.op,
-		Path: path, Path2: path2, Flags: flags, Offset: off, Len: n,
+		Path: path, Path2: path2, Flags: flags, Offset: off, Len: n, Bytes: served,
 		Issue: sp.start, Latency: r.cfg.Clock() - sp.start, Err: err != nil,
-	})
+	}
+	if r.opSink != nil {
+		r.opSink(e)
+	}
+	if r.telOp != nil {
+		r.telOp(e)
+	}
 }
 
 // New creates an enabled recorder. cfg.Clock must be set.
@@ -378,14 +407,19 @@ func (r *Recorder) Wait(proc int, kind, resource, holder string, holderID int, s
 		r.unattributed++
 		return
 	}
-	if !r.room() {
-		return
-	}
 	holderTenant := ""
 	if holderID != 0 {
 		if hs, ok := r.procSpan[int32(holderID)]; ok {
 			holderTenant = hs.tenant
 		}
+	}
+	// Telemetry sees every attributed wait, even once the bounded event
+	// buffer is full — the monitor aggregates online and stores O(1).
+	if r.telWait != nil {
+		r.telWait(s.tenant, holderTenant, start, dur)
+	}
+	if !r.room() {
+		return
 	}
 	r.waits = append(r.waits, WaitEvent{
 		Span: s.id, Proc: s.proc, Tenant: s.tenantSym, Op: s.opSym,

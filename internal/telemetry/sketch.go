@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Sketch is a compact log-linear latency sketch: 8 sub-buckets per
+// power of two (~12% relative error), sized for one live aggregation
+// window rather than a whole run. Unlike metrics.Histogram it tracks
+// the touched bucket range so Reset costs O(buckets used this window),
+// keeping the per-window churn of the streaming monitor flat even when
+// thousands of windows close over a long run.
+type Sketch struct {
+	buckets [sketchBuckets]uint32
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	lo, hi  int // touched index bounds (inclusive), lo > hi when empty
+}
+
+const (
+	sketchSub     = 8
+	sketchBuckets = 62 * sketchSub
+)
+
+func sketchIndex(v int64) int {
+	if v < sketchSub {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int((v >> (uint(exp) - 3)) & (sketchSub - 1))
+	idx := (exp-2)*sketchSub + sub
+	if idx >= sketchBuckets {
+		idx = sketchBuckets - 1
+	}
+	return idx
+}
+
+func sketchValue(idx int) int64 {
+	if idx < sketchSub {
+		return int64(idx)
+	}
+	exp := idx/sketchSub + 2
+	sub := idx % sketchSub
+	if exp >= 63 {
+		return math.MaxInt64
+	}
+	return (1 << uint(exp)) | (int64(sub) << uint(exp-3))
+}
+
+// Record adds one sample.
+func (s *Sketch) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := sketchIndex(int64(d))
+	if s.count == 0 {
+		s.lo, s.hi = idx, idx
+		s.min, s.max = d, d
+	} else {
+		if idx < s.lo {
+			s.lo = idx
+		}
+		if idx > s.hi {
+			s.hi = idx
+		}
+		if d < s.min {
+			s.min = d
+		}
+		if d > s.max {
+			s.max = d
+		}
+	}
+	s.buckets[idx]++
+	s.count++
+	s.sum += d
+}
+
+// Count returns the number of samples.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the total of all samples.
+func (s *Sketch) Sum() time.Duration { return s.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (s *Sketch) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(s.count)
+}
+
+// Quantile returns the q-quantile (e.g. 0.99 for p99), clamped to
+// [min, max] so single-bucket sketches report exact values. Empty
+// sketches return 0.
+func (s *Sketch) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.count)))
+	if target == 0 {
+		target = 1
+	}
+	if target >= s.count {
+		return s.max
+	}
+	var seen uint64
+	for i := s.lo; i <= s.hi; i++ {
+		seen += uint64(s.buckets[i])
+		if seen >= target {
+			v := time.Duration(sketchValue(i))
+			if v > s.max {
+				v = s.max
+			}
+			if v < s.min {
+				v = s.min
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Reset clears the sketch, touching only the buckets used since the
+// last reset.
+func (s *Sketch) Reset() {
+	if s.count == 0 {
+		return
+	}
+	for i := s.lo; i <= s.hi; i++ {
+		s.buckets[i] = 0
+	}
+	s.count, s.sum, s.min, s.max = 0, 0, 0, 0
+	s.lo, s.hi = 1, 0
+}

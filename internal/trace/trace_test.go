@@ -124,13 +124,13 @@ func TestRecorderCapturesViaObsSink(t *testing.T) {
 	now = 10
 	sp := rec.StartSpan(42, "tenant0", "read")
 	now = 30
-	rec.OpDone(sp, "/data", "", 0, 4096, 1024, nil)
+	rec.OpDone(sp, "/data", "", 0, 4096, 1024, 1024, nil)
 	sp.End(1024, nil)
 
 	now = 31
 	sp2 := rec.StartSpan(43, "tenant1", "open")
 	now = 40
-	rec.OpDone(sp2, "/other", "", 3, 0, 0, fmt.Errorf("boom"))
+	rec.OpDone(sp2, "/other", "", 3, 0, 0, 0, fmt.Errorf("boom"))
 	sp2.End(0, fmt.Errorf("boom"))
 
 	if cap.Count() != 2 {
@@ -153,7 +153,7 @@ func TestOpSinkIgnoresNestedSpans(t *testing.T) {
 	cap := NewRecorder("unit", 0)
 	cap.Attach(rec)
 	// A nil span is what the traced facade passes for nested crossings.
-	rec.OpDone(nil, "/ignored", "", 0, 0, 0, nil)
+	rec.OpDone(nil, "/ignored", "", 0, 0, 0, 0, nil)
 	if cap.Count() != 0 {
 		t.Errorf("nested (nil-span) op was captured")
 	}
@@ -165,7 +165,7 @@ func TestRecorderCap(t *testing.T) {
 	cap.Attach(rec)
 	for i := 0; i < 5; i++ {
 		sp := rec.StartSpan(1, "t", "read")
-		rec.OpDone(sp, "/f", "", 0, 0, 0, nil)
+		rec.OpDone(sp, "/f", "", 0, 0, 0, 0, nil)
 		sp.End(0, nil)
 	}
 	if cap.Count() != 2 || cap.Dropped() != 3 {

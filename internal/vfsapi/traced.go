@@ -43,7 +43,7 @@ func (t *tracedFS) begin(ctx Ctx, op string) (Ctx, *obs.Span) {
 func (t *tracedFS) Open(ctx Ctx, path string, flags OpenFlag) (Handle, error) {
 	ctx, sp := t.begin(ctx, "open")
 	h, err := t.inner.Open(ctx, path, flags)
-	t.rec.OpDone(sp, path, "", int(flags), 0, 0, err)
+	t.rec.OpDone(sp, path, "", int(flags), 0, 0, 0, err)
 	sp.End(0, err)
 	if err != nil {
 		return nil, err
@@ -54,7 +54,7 @@ func (t *tracedFS) Open(ctx Ctx, path string, flags OpenFlag) (Handle, error) {
 func (t *tracedFS) Stat(ctx Ctx, path string) (FileInfo, error) {
 	ctx, sp := t.begin(ctx, "stat")
 	fi, err := t.inner.Stat(ctx, path)
-	t.rec.OpDone(sp, path, "", 0, 0, 0, err)
+	t.rec.OpDone(sp, path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return fi, err
 }
@@ -62,7 +62,7 @@ func (t *tracedFS) Stat(ctx Ctx, path string) (FileInfo, error) {
 func (t *tracedFS) Mkdir(ctx Ctx, path string) error {
 	ctx, sp := t.begin(ctx, "mkdir")
 	err := t.inner.Mkdir(ctx, path)
-	t.rec.OpDone(sp, path, "", 0, 0, 0, err)
+	t.rec.OpDone(sp, path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
@@ -70,7 +70,7 @@ func (t *tracedFS) Mkdir(ctx Ctx, path string) error {
 func (t *tracedFS) Readdir(ctx Ctx, path string) ([]DirEntry, error) {
 	ctx, sp := t.begin(ctx, "readdir")
 	ents, err := t.inner.Readdir(ctx, path)
-	t.rec.OpDone(sp, path, "", 0, 0, 0, err)
+	t.rec.OpDone(sp, path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return ents, err
 }
@@ -78,7 +78,7 @@ func (t *tracedFS) Readdir(ctx Ctx, path string) ([]DirEntry, error) {
 func (t *tracedFS) Unlink(ctx Ctx, path string) error {
 	ctx, sp := t.begin(ctx, "unlink")
 	err := t.inner.Unlink(ctx, path)
-	t.rec.OpDone(sp, path, "", 0, 0, 0, err)
+	t.rec.OpDone(sp, path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
@@ -86,7 +86,7 @@ func (t *tracedFS) Unlink(ctx Ctx, path string) error {
 func (t *tracedFS) Rmdir(ctx Ctx, path string) error {
 	ctx, sp := t.begin(ctx, "rmdir")
 	err := t.inner.Rmdir(ctx, path)
-	t.rec.OpDone(sp, path, "", 0, 0, 0, err)
+	t.rec.OpDone(sp, path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
@@ -94,7 +94,7 @@ func (t *tracedFS) Rmdir(ctx Ctx, path string) error {
 func (t *tracedFS) Rename(ctx Ctx, oldPath, newPath string) error {
 	ctx, sp := t.begin(ctx, "rename")
 	err := t.inner.Rename(ctx, oldPath, newPath)
-	t.rec.OpDone(sp, oldPath, newPath, 0, 0, 0, err)
+	t.rec.OpDone(sp, oldPath, newPath, 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
@@ -112,9 +112,11 @@ type tracedHandle struct {
 func (h *tracedHandle) Read(ctx Ctx, off, n int64) (int64, error) {
 	ctx, sp := h.fs.begin(ctx, "read")
 	got, err := h.inner.Read(ctx, off, n)
-	// Record the *requested* length, not the bytes served: replay must
-	// reissue the original request even when it was short-read.
-	h.fs.rec.OpDone(sp, h.path, "", 0, off, n, err)
+	// Len carries the *requested* length (replay must reissue the
+	// original request even when short-read); Bytes carries what was
+	// actually served, matching Span.End so telemetry byte totals agree
+	// with the metrics registry.
+	h.fs.rec.OpDone(sp, h.path, "", 0, off, n, got, err)
 	sp.End(got, err)
 	return got, err
 }
@@ -122,7 +124,7 @@ func (h *tracedHandle) Read(ctx Ctx, off, n int64) (int64, error) {
 func (h *tracedHandle) Write(ctx Ctx, off, n int64) (int64, error) {
 	ctx, sp := h.fs.begin(ctx, "write")
 	got, err := h.inner.Write(ctx, off, n)
-	h.fs.rec.OpDone(sp, h.path, "", 0, off, n, err)
+	h.fs.rec.OpDone(sp, h.path, "", 0, off, n, got, err)
 	sp.End(got, err)
 	return got, err
 }
@@ -130,7 +132,7 @@ func (h *tracedHandle) Write(ctx Ctx, off, n int64) (int64, error) {
 func (h *tracedHandle) Append(ctx Ctx, n int64) (int64, error) {
 	ctx, sp := h.fs.begin(ctx, "append")
 	off, err := h.inner.Append(ctx, n)
-	h.fs.rec.OpDone(sp, h.path, "", 0, 0, n, err)
+	h.fs.rec.OpDone(sp, h.path, "", 0, 0, n, n, err)
 	sp.End(n, err)
 	return off, err
 }
@@ -138,7 +140,7 @@ func (h *tracedHandle) Append(ctx Ctx, n int64) (int64, error) {
 func (h *tracedHandle) Fsync(ctx Ctx) error {
 	ctx, sp := h.fs.begin(ctx, "fsync")
 	err := h.inner.Fsync(ctx)
-	h.fs.rec.OpDone(sp, h.path, "", 0, 0, 0, err)
+	h.fs.rec.OpDone(sp, h.path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
@@ -146,7 +148,7 @@ func (h *tracedHandle) Fsync(ctx Ctx) error {
 func (h *tracedHandle) Close(ctx Ctx) error {
 	ctx, sp := h.fs.begin(ctx, "close")
 	err := h.inner.Close(ctx)
-	h.fs.rec.OpDone(sp, h.path, "", 0, 0, 0, err)
+	h.fs.rec.OpDone(sp, h.path, "", 0, 0, 0, 0, err)
 	sp.End(0, err)
 	return err
 }
